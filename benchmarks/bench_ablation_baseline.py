@@ -1,0 +1,51 @@
+"""Ablation: the two readings of the normal-switch baseline.
+
+The paper's baseline gives the old source strict priority.  How much
+inbound rate is "left over" for the new source admits two readings (see
+``repro.core.normal_switch``): the *reserved* reading (no new-source
+requests while the undelivered backlog exceeds the inbound rate) and the
+*opportunistic* reading (unschedulable old-source capacity spills over
+immediately).  This ablation quantifies the gap and shows that the fast
+algorithm beats both.
+"""
+
+from conftest import BENCH_SEED, report_rows
+
+from repro.core.fast_switch import FastSwitchAlgorithm
+from repro.core.normal_switch import NormalSwitchAlgorithm
+from repro.experiments.config import make_session_config
+from repro.streaming.session import SwitchSession
+
+ABLATION_NODES = 150
+
+
+def _run(label, factory):
+    config = make_session_config(ABLATION_NODES, seed=BENCH_SEED, max_time=120.0)
+    result = SwitchSession(config, algorithm_factory=factory).run()
+    return {
+        "algorithm": label,
+        "avg_switch_time": round(result.metrics.avg_switch_time, 3),
+        "avg_finish_S1": round(result.metrics.avg_finish_old, 3),
+        "overhead": round(result.overhead_ratio, 4),
+        "unfinished": result.metrics.unfinished,
+    }
+
+
+def test_ablation_baseline_variants(benchmark):
+    def run_all():
+        return [
+            _run("normal (reserved)", NormalSwitchAlgorithm),
+            _run("normal (opportunistic)",
+                 lambda: NormalSwitchAlgorithm(opportunistic_leftover=True)),
+            _run("fast", FastSwitchAlgorithm),
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report_rows(benchmark, "Ablation: baseline variants vs the fast algorithm", rows)
+
+    by_name = {row["algorithm"]: row for row in rows}
+    assert all(row["unfinished"] == 0 for row in rows)
+    fast = by_name["fast"]["avg_switch_time"]
+    # the fast algorithm beats (or at least matches) both baseline readings
+    assert fast <= by_name["normal (reserved)"]["avg_switch_time"] + 0.5
+    assert fast <= by_name["normal (opportunistic)"]["avg_switch_time"] + 0.5

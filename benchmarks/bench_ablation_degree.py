@@ -1,0 +1,45 @@
+"""Ablation: neighbour degree M.
+
+The paper: "M=5 is usually a good practical choice and using a larger M
+cannot bring more benefit."  This ablation sweeps the minimum neighbour
+degree and reports the fast algorithm's switch time and the communication
+overhead: a larger M buys little or no switch-time improvement while the
+buffer-map overhead grows linearly with M.
+"""
+
+from conftest import BENCH_SEED, report_rows
+
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import run_single
+
+ABLATION_NODES = 150
+DEGREES = (3, 5, 8, 12)
+
+
+def _run_degree(min_degree: int) -> dict:
+    config = make_session_config(
+        ABLATION_NODES, seed=BENCH_SEED, max_time=120.0, min_degree=min_degree
+    )
+    result = run_single(config)
+    return {
+        "M": min_degree,
+        "avg_switch_time": round(result.metrics.avg_switch_time, 3),
+        "overhead": round(result.overhead_ratio, 4),
+        "avg_degree": round(result.average_degree, 2),
+        "unfinished": result.metrics.unfinished,
+    }
+
+
+def test_ablation_neighbour_degree(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [_run_degree(m) for m in DEGREES], rounds=1, iterations=1
+    )
+    report_rows(benchmark, "Ablation: minimum neighbour degree M (fast switch)", rows)
+
+    by_degree = {row["M"]: row for row in rows}
+    assert all(row["unfinished"] == 0 for row in rows)
+    # Overhead grows with M (more buffer maps per period).
+    assert by_degree[12]["overhead"] > by_degree[3]["overhead"]
+    # Going beyond the paper's M=5 buys little: no more than ~20% improvement
+    # over M=5 even with more than double the neighbours.
+    assert by_degree[12]["avg_switch_time"] >= by_degree[5]["avg_switch_time"] * 0.8

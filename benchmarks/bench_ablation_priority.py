@@ -1,0 +1,58 @@
+"""Ablation: the paper's priority rule vs simpler alternatives.
+
+The paper argues that its rarity term (the probability of being evicted
+from *all* suppliers' FIFO buffers, Eq. 8) is more informative than the
+traditional ``1/n`` supplier-count rarity, and combines it with urgency via
+``max`` (Eq. 9).  This ablation runs the full switch workload with the fast
+algorithm under four priority policies and reports the resulting switch
+times; the paper's policy should be at least as good as the alternatives.
+"""
+
+from conftest import BENCH_SEED, report_rows
+
+from repro.core.fast_switch import FastSwitchAlgorithm
+from repro.core.priority import PriorityPolicy
+from repro.experiments.config import make_session_config
+from repro.streaming.session import SwitchSession
+
+ABLATION_NODES = 150
+
+
+def _run_policy(policy: PriorityPolicy) -> dict:
+    config = make_session_config(ABLATION_NODES, seed=BENCH_SEED, max_time=120.0)
+    session = SwitchSession(
+        config,
+        algorithm_factory=lambda: FastSwitchAlgorithm(priority_policy=policy),
+    )
+    result = session.run()
+    return {
+        "policy": policy.value,
+        "avg_switch_time": round(result.metrics.avg_switch_time, 3),
+        "avg_finish_S1": round(result.metrics.avg_finish_old, 3),
+        "last_prepare_S2": round(result.metrics.last_prepare_new, 3),
+        "unfinished": result.metrics.unfinished,
+    }
+
+
+def test_ablation_priority_policies(benchmark):
+    def run_all():
+        return [
+            _run_policy(policy)
+            for policy in (
+                PriorityPolicy.PAPER,
+                PriorityPolicy.URGENCY_ONLY,
+                PriorityPolicy.TRADITIONAL_RARITY,
+                PriorityPolicy.SEQUENTIAL,
+            )
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report_rows(benchmark, "Ablation: priority policy (fast switch algorithm)", rows)
+
+    by_policy = {row["policy"]: row for row in rows}
+    assert all(row["unfinished"] == 0 for row in rows)
+    # The paper's policy must not be materially worse than any alternative
+    # (one scheduling period of tolerance).
+    paper_time = by_policy["paper"]["avg_switch_time"]
+    for row in rows:
+        assert paper_time <= row["avg_switch_time"] + 1.5

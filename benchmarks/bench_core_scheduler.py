@@ -1,0 +1,82 @@
+"""Micro-benchmark of the per-peer scheduling hot path.
+
+The greedy supplier assignment plus priority computation runs once per peer
+per scheduling period; its cost bounds how large an overlay the simulator
+can handle.  This benchmark measures one realistic invocation (about 100
+candidate segments across 6 neighbours, the steady-state shape during a
+switch).
+"""
+
+from conftest import report_rows
+
+from repro.core.base import LocalView, NeighbourView
+from repro.core.fast_switch import FastSwitchAlgorithm
+from repro.core.normal_switch import NormalSwitchAlgorithm
+
+
+def _realistic_view(n_neighbours: int = 6, backlog: int = 80, startup: int = 50) -> LocalView:
+    id_end = 899
+    old_needed = frozenset(range(id_end - backlog + 1, id_end + 1))
+    new_needed = frozenset(range(900, 900 + startup))
+    neighbours = []
+    for j in range(n_neighbours):
+        # each neighbour holds a staggered subset of both windows
+        old_part = frozenset(range(id_end - backlog + 1 + 7 * j, id_end + 1))
+        new_part = frozenset(range(900, 900 + 10 + 8 * j))
+        available = old_part | new_part
+        neighbours.append(
+            NeighbourView(
+                node_id=j,
+                send_rate=12.0 + j,
+                available=available,
+                positions={seg: 1 + (seg % 500) for seg in available},
+                buffer_capacity=600,
+            )
+        )
+    return LocalView(
+        now=5.0,
+        tau=1.0,
+        play_rate=10.0,
+        inbound_rate=15.0,
+        playback_id=id_end - backlog - 20,
+        startup_quota_old=10,
+        startup_quota_new=50,
+        old_needed=old_needed,
+        new_needed=new_needed,
+        id_end=id_end,
+        id_begin=900,
+        neighbours=tuple(neighbours),
+    )
+
+
+def test_fast_switch_scheduling_hot_path(benchmark):
+    view = _realistic_view()
+    algorithm = FastSwitchAlgorithm()
+    decision = benchmark(lambda: algorithm.schedule(view))
+    assert 0 < len(decision.requests) <= view.capacity_segments()
+    report_rows(
+        benchmark,
+        "Fast switch decision summary",
+        [{
+            "requests": len(decision.requests),
+            "old": len(decision.old_requests),
+            "new": len(decision.new_requests),
+            "i1": round(decision.i1, 2),
+            "i2": round(decision.i2, 2),
+        }],
+    )
+
+
+def test_normal_switch_scheduling_hot_path(benchmark):
+    view = _realistic_view()
+    algorithm = NormalSwitchAlgorithm()
+    decision = benchmark(lambda: algorithm.schedule(view))
+    assert 0 < len(decision.requests) <= view.capacity_segments()
+
+
+def test_fast_switch_scales_with_neighbourhood(benchmark):
+    """One call on a denser neighbourhood (M=12) stays affordable."""
+    view = _realistic_view(n_neighbours=12, backlog=120)
+    algorithm = FastSwitchAlgorithm()
+    decision = benchmark(lambda: algorithm.schedule(view))
+    assert len(decision.requests) <= view.capacity_segments()

@@ -1,0 +1,23 @@
+"""Figure 2: request ordering of the fast vs the normal switch algorithm.
+
+Regenerates the paper's illustrative example (7 request slots, 5 old-source
+and 5 new-source candidates) and micro-benchmarks one scheduling call of
+each algorithm on that view.
+"""
+
+from conftest import report_figure
+
+from repro.experiments.figures import figure2
+
+
+def test_fig02_request_ordering(benchmark):
+    result = benchmark(figure2)
+    report_figure(benchmark, result)
+
+    rows = {row["algorithm"]: row for row in result.rows}
+    # Paper shape: the normal algorithm fills its slots with the old source
+    # first; the fast algorithm interleaves both sources.
+    assert rows["normal"]["old_requested"] == 5
+    assert rows["normal"]["new_requested"] == 2
+    assert rows["fast"]["new_requested"] > rows["normal"]["new_requested"]
+    assert rows["fast"]["old_requested"] + rows["fast"]["new_requested"] == 7

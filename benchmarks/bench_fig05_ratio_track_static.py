@@ -1,0 +1,35 @@
+"""Figure 5: undelivered/delivered ratio track in a static network.
+
+The paper tracks, on a 1000-node static overlay, the average undelivered
+ratio of the old source and the delivered ratio of the new source over time
+for both algorithms.  The expected shape: the normal algorithm drains the
+old stream faster but gathers the new stream's startup window later; the
+fast algorithm balances the two and completes the switch earlier.
+"""
+
+from conftest import BENCH_SEED, TRACK_SIZE, report_figure
+
+from repro.experiments.figures import figure5
+
+
+def test_fig05_ratio_track_static(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5(n_nodes=TRACK_SIZE, seed=BENCH_SEED, max_time=90.0),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    final = result.rows[-1]
+    # Everyone eventually drains the old stream and gathers the new one.
+    assert final["normal_undelivered_ratio_S1"] <= 1e-6
+    assert final["fast_undelivered_ratio_S1"] <= 1e-6
+    assert final["normal_delivered_ratio_S2"] >= 1.0 - 1e-6
+    assert final["fast_delivered_ratio_S2"] >= 1.0 - 1e-6
+
+    # Paper shape: early in the switch the fast algorithm has gathered more
+    # of the new stream, while the normal algorithm has drained more of the
+    # old one (it gives the old source strict priority).
+    mid = result.rows[len(result.rows) // 3]
+    assert mid["fast_delivered_ratio_S2"] >= mid["normal_delivered_ratio_S2"] - 0.05
+    assert mid["normal_undelivered_ratio_S1"] <= mid["fast_undelivered_ratio_S1"] + 0.05

@@ -1,0 +1,29 @@
+"""Figure 6: average finishing/preparing times vs overlay size (static).
+
+For every overlay size the paper plots four bars: the normal algorithm's
+average finishing time of S1, the fast algorithm's finishing time of S1,
+the fast algorithm's preparing time of S2 and the normal algorithm's
+preparing time of S2 -- in that (non-decreasing) order.  The fast algorithm
+"splits the difference" between the baseline's finish and prepare times.
+"""
+
+from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+
+from repro.experiments.figures import figure6
+
+
+def test_fig06_times_static(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure6(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    slack = 1.5  # seconds of tolerance (about one scheduling period)
+    for row in result.rows:
+        assert row["normal_finish_S1"] > 0
+        # the paper's bar ordering, allowing a period of noise
+        assert row["normal_finish_S1"] <= row["fast_finish_S1"] + slack
+        assert row["fast_finish_S1"] <= row["fast_prepare_S2"] + slack
+        assert row["fast_prepare_S2"] <= row["normal_prepare_S2"] + slack

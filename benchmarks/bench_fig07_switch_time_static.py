@@ -1,0 +1,30 @@
+"""Figure 7: average switch time and its reduction ratio (static).
+
+The paper's headline result: the fast switch algorithm reduces the average
+switch time by 20--30% relative to the normal algorithm, with the reduction
+ratio tending to increase with the network size.  At the reduced benchmark
+sizes the measured reduction is typically 5--20% and grows towards the
+paper's band at the full scale (see EXPERIMENTS.md).
+"""
+
+from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+
+from repro.experiments.figures import figure7
+
+
+def test_fig07_switch_time_static(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure7(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    for row in result.rows:
+        assert row["normal_switch_time"] > 0
+        assert row["fast_switch_time"] > 0
+        # The fast algorithm must not lose (small negative noise tolerated).
+        assert row["reduction_ratio"] > -0.05
+    # On average across sizes the fast algorithm clearly wins.
+    mean_reduction = sum(r["reduction_ratio"] for r in result.rows) / len(result.rows)
+    assert mean_reduction > 0.0

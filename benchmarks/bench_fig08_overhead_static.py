@@ -1,0 +1,28 @@
+"""Figure 8: communication overhead vs overlay size (static).
+
+The paper computes the overhead as buffer-map bits over data bits and
+reports values slightly above 1% for both algorithms, with the fast
+algorithm's overhead a little lower because it utilises bandwidth better.
+"""
+
+from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+
+from repro.experiments.figures import figure8
+
+
+def test_fig08_overhead_static(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure8(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    for row in result.rows:
+        # small, paper reports ~1-2%; the reduced-scale simulation sits a bit
+        # higher because runs are shorter (control traffic is amortised over
+        # fewer delivered segments), but stays in the same order of magnitude
+        assert 0.001 < row["fast_overhead"] < 0.06
+        assert 0.001 < row["normal_overhead"] < 0.06
+        # the fast algorithm does not add overhead
+        assert row["fast_overhead"] <= row["normal_overhead"] * 1.15

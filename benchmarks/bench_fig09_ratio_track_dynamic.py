@@ -1,0 +1,27 @@
+"""Figure 9: ratio track in a dynamic network (5% churn per period).
+
+Same workload as Figure 5 but with the paper's dynamic environment: every
+scheduling period 5% of the peers leave and 5% join (joiners simply follow
+their neighbours' playback point and are not tracked by the switch-time
+metrics).  The paper reports results "consistent with those in static
+environments".
+"""
+
+from conftest import BENCH_SEED, TRACK_SIZE, report_figure
+
+from repro.experiments.figures import figure9
+
+
+def test_fig09_ratio_track_dynamic(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure9(n_nodes=TRACK_SIZE, seed=BENCH_SEED, max_time=90.0),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    final = result.rows[-1]
+    assert final["normal_undelivered_ratio_S1"] <= 0.05
+    assert final["fast_undelivered_ratio_S1"] <= 0.05
+    assert final["normal_delivered_ratio_S2"] >= 0.95
+    assert final["fast_delivered_ratio_S2"] >= 0.95

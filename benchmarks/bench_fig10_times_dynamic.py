@@ -1,0 +1,20 @@
+"""Figure 10: average finishing/preparing times vs overlay size (dynamic)."""
+
+from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+
+from repro.experiments.figures import figure10
+
+
+def test_fig10_times_dynamic(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure10(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    slack = 2.0  # churn adds noise on top of the usual one-period slack
+    for row in result.rows:
+        assert row["normal_finish_S1"] > 0
+        assert row["normal_finish_S1"] <= row["fast_finish_S1"] + slack
+        assert row["fast_prepare_S2"] <= row["normal_prepare_S2"] + slack

@@ -1,0 +1,26 @@
+"""Figure 11: average switch time and its reduction ratio (dynamic).
+
+The paper reports dynamic-environment results consistent with the static
+ones: the fast algorithm keeps its 20-30% switch-time reduction under 5%
+per-period churn.
+"""
+
+from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+
+from repro.experiments.figures import figure11
+
+
+def test_fig11_switch_time_dynamic(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure11(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    for row in result.rows:
+        assert row["normal_switch_time"] > 0
+        assert row["fast_switch_time"] > 0
+        assert row["reduction_ratio"] > -0.10  # churn noise tolerance
+    mean_reduction = sum(r["reduction_ratio"] for r in result.rows) / len(result.rows)
+    assert mean_reduction > -0.02

@@ -1,0 +1,19 @@
+"""Figure 12: communication overhead vs overlay size (dynamic)."""
+
+from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+
+from repro.experiments.figures import figure12
+
+
+def test_fig12_overhead_dynamic(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure12(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    report_figure(benchmark, result)
+
+    for row in result.rows:
+        assert 0.001 < row["fast_overhead"] < 0.08
+        assert 0.001 < row["normal_overhead"] < 0.08
+        assert row["fast_overhead"] <= row["normal_overhead"] * 1.2

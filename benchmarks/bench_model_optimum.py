@@ -1,0 +1,67 @@
+"""Micro-benchmarks and validation of the closed-form model (Section 3).
+
+Not a paper figure, but the design ablation DESIGN.md calls out: how much
+does the four-case allocation built on the closed-form optimum matter, and
+how cheap is it to evaluate per peer per scheduling period?
+"""
+
+import numpy as np
+from conftest import report_rows
+
+from repro.core.allocation import allocate_for_model
+from repro.core.model import optimal_split
+
+
+def test_model_optimal_split_throughput(benchmark):
+    """Cost of one closed-form evaluation (executed once per peer per period)."""
+
+    def evaluate():
+        return optimal_split(15.0, 73.0, 42.0, 10.0, 10.0)
+
+    split = benchmark(evaluate)
+    assert split.r1 + split.r2 == 15.0
+    benchmark.extra_info["r1"] = split.r1
+    benchmark.extra_info["t2"] = split.t2
+
+
+def test_model_four_case_allocation_throughput(benchmark):
+    """Cost of the full allocation (model + four cases)."""
+
+    def evaluate():
+        return allocate_for_model(15.0, 73.0, 42.0, 10.0, 10.0, o1=9.0, o2=4.0)
+
+    allocation = benchmark(evaluate)
+    assert allocation.total <= 15.0 + 1e-9
+
+
+def test_model_predicted_switch_time_table(benchmark):
+    """Tabulate the model's predicted switch time over realistic backlogs.
+
+    This regenerates the analytic sanity check used in EXPERIMENTS.md: the
+    model's T2 is a lower bound for the simulated switch times.
+    """
+
+    def build_table():
+        rows = []
+        for q1 in (20, 50, 100, 150):
+            for inbound in (10, 15, 25, 33):
+                split = optimal_split(float(inbound), float(q1), 50.0, 10.0, 10.0)
+                rows.append(
+                    {
+                        "Q1": q1,
+                        "I": inbound,
+                        "r1": round(split.r1, 3),
+                        "r2": round(split.r2, 3),
+                        "T2_optimal": round(split.t2, 3),
+                    }
+                )
+        return rows
+
+    rows = benchmark(build_table)
+    report_rows(benchmark, "Model-predicted optimal switch times", rows)
+    t2 = np.array([row["T2_optimal"] for row in rows])
+    assert (t2 > 0).all()
+    # larger backlogs can only delay the switch, for the same inbound rate
+    by_inbound = {i: [r["T2_optimal"] for r in rows if r["I"] == i] for i in (10, 15, 25, 33)}
+    for series in by_inbound.values():
+        assert series == sorted(series)

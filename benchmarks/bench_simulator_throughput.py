@@ -1,0 +1,55 @@
+"""Simulator throughput: peer-rounds per second.
+
+Not a paper figure; tracks the cost of the simulation substrate itself so
+regressions in the hot path (buffer-map snapshots, priority computation,
+greedy assignment, transfer resolution) are visible.  The calibration note
+in DESIGN.md ("scaling peer counts is the slow part") is quantified here.
+"""
+
+from conftest import BENCH_SEED, report_rows
+
+from repro.experiments.config import make_session_config
+from repro.streaming.session import SwitchSession
+
+
+def _run_once(n_nodes: int):
+    config = make_session_config(n_nodes, seed=BENCH_SEED, max_time=120.0)
+    session = SwitchSession(config)
+    result = session.run()
+    return result
+
+
+def test_simulator_throughput_small_overlay(benchmark):
+    result = benchmark.pedantic(lambda: _run_once(100), rounds=1, iterations=1)
+    peer_rounds = result.n_peers * result.n_rounds
+    rate = peer_rounds / max(result.wallclock_seconds, 1e-9)
+    report_rows(
+        benchmark,
+        "Simulator throughput (100-node overlay)",
+        [{
+            "peers": result.n_peers,
+            "rounds": result.n_rounds,
+            "peer_rounds": peer_rounds,
+            "peer_rounds_per_s": round(rate, 1),
+            "wallclock_s": round(result.wallclock_seconds, 2),
+        }],
+    )
+    assert result.metrics.unfinished == 0
+    assert rate > 100  # sanity: at least a few hundred peer-rounds per second
+
+
+def test_overlay_construction_cost(benchmark):
+    """Cost of building + augmenting a 1000-node overlay (setup phase only)."""
+    from repro.overlay.augment import augment_to_min_degree
+    from repro.overlay.generator import generate_trace
+    from repro.overlay.topology import build_overlay_from_trace
+    import numpy as np
+
+    def build():
+        overlay = build_overlay_from_trace(generate_trace(1000, seed=BENCH_SEED))
+        augment_to_min_degree(overlay, 5, np.random.default_rng(BENCH_SEED))
+        return overlay
+
+    overlay = benchmark(build)
+    assert len(overlay) == 1000
+    assert all(overlay.degree(n) >= 5 for n in overlay.node_ids)

@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*.py`` module regenerates the data behind one figure of the
+paper and prints the same rows/series the paper reports.  By default the
+overlay sizes are reduced so the whole suite finishes in a few minutes on a
+laptop; set ``REPRO_PAPER_SCALE=1`` to run the paper's full 100--8000-node
+sweep (this takes hours).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import pytest
+
+from repro.experiments.config import (
+    BENCH_RATIO_TRACK_SIZE,
+    BENCH_SWEEP_SIZES,
+    PAPER_SWEEP_SIZES,
+    RATIO_TRACK_SIZE,
+    paper_scale_enabled,
+)
+from repro.metrics.report import format_table
+
+#: Sizes used by the sweep figures in benchmark mode.
+SWEEP_SIZES: Sequence[int] = PAPER_SWEEP_SIZES if paper_scale_enabled() else BENCH_SWEEP_SIZES
+
+#: Overlay size used by the ratio-track figures in benchmark mode.
+TRACK_SIZE: int = RATIO_TRACK_SIZE if paper_scale_enabled() else BENCH_RATIO_TRACK_SIZE
+
+#: Seed shared by all benchmark simulations (keeps paired runs comparable).
+BENCH_SEED: int = 1
+
+
+def report_figure(benchmark, figure_result) -> None:
+    """Print a figure's rows and attach them to the benchmark record."""
+    text = figure_result.to_text()
+    print()
+    print(text)
+    benchmark.extra_info["figure"] = figure_result.figure_id
+    benchmark.extra_info["rows"] = figure_result.rows
+    benchmark.extra_info["meta"] = dict(figure_result.meta)
+
+
+def report_rows(benchmark, title: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Print arbitrary result rows and attach them to the benchmark record."""
+    print()
+    print(title)
+    print(format_table(list(rows)))
+    benchmark.extra_info["rows"] = list(rows)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _announce_scale():
+    scale = "paper scale" if paper_scale_enabled() else "reduced benchmark scale"
+    print(f"\n[repro benchmarks] running at {scale}: sweep sizes {tuple(SWEEP_SIZES)}, "
+          f"ratio-track size {TRACK_SIZE}")
+    yield

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: one paired source-switch simulation.
+
+Runs the paper's workload on a small (200-node) static overlay with both
+the normal and the fast switch algorithm on identical random draws, then
+prints the headline comparison: average finishing time of the old source,
+average preparing (= switch) time of the new source, the switch-time
+reduction and the communication overhead.
+
+Usage::
+
+    python examples/quickstart.py [--n-nodes 200] [--seed 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import make_session_config
+from repro.experiments.figures import figure2
+from repro.experiments.runner import run_pair
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-nodes", type=int, default=200,
+                        help="overlay size including the two sources")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    args = parser.parse_args()
+
+    print("Step 1 -- the paper's Figure 2 example (one scheduling period):")
+    print(figure2().to_text())
+    print()
+
+    print(f"Step 2 -- full switch simulation on {args.n_nodes} nodes "
+          f"(seed {args.seed}), both algorithms on identical overlays ...")
+    config = make_session_config(args.n_nodes, seed=args.seed, max_time=120.0)
+    pair = run_pair(config)
+
+    rows = []
+    for result in (pair.normal, pair.fast):
+        metrics = result.metrics
+        rows.append({
+            "algorithm": metrics.algorithm,
+            "avg finish S1 (s)": round(metrics.avg_finish_old, 2),
+            "avg prepare S2 (s)": round(metrics.avg_prepare_new, 2),
+            "avg switch time (s)": round(metrics.avg_switch_time, 2),
+            "last node ready (s)": round(metrics.last_prepare_new, 2),
+            "overhead": round(result.overhead_ratio, 4),
+        })
+    print(format_table(rows))
+    print()
+    print(f"Switch-time reduction of the fast algorithm: "
+          f"{pair.switch_time_reduction:.1%}")
+    print("(The paper reports 20-30% at 100-10000 nodes; at this reduced scale "
+          "expect roughly 5-20%, growing with the overlay size.)")
+
+
+if __name__ == "__main__":
+    main()

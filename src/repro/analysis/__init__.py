@@ -1,0 +1,30 @@
+"""Result analysis utilities.
+
+Small, dependency-light helpers used by the experiment harness, the CLI and
+the examples:
+
+* :mod:`repro.analysis.stats` -- summary statistics for repeated runs
+  (mean, standard deviation, confidence intervals) and paired comparison of
+  two algorithms across seeds (mean reduction with a sign test), so sweep
+  results can be reported with error bars instead of single draws;
+* :mod:`repro.analysis.charts` -- plain-text (ASCII) line and bar charts
+  used to render the paper's figures in a terminal without matplotlib.
+"""
+
+from repro.analysis.charts import ascii_bar_chart, ascii_line_chart, sparkline
+from repro.analysis.stats import (
+    PairedComparison,
+    SummaryStats,
+    paired_comparison,
+    summarize,
+)
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "PairedComparison",
+    "paired_comparison",
+    "ascii_line_chart",
+    "ascii_bar_chart",
+    "sparkline",
+]

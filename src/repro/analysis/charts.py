@@ -1,0 +1,106 @@
+"""Plain-text charts for terminals.
+
+The benchmark harness and the CLI print the figures' data as tables; these
+helpers additionally render them as ASCII charts so the *shape* of a figure
+(the Figure 5 crossover, the Figure 7 trend) is visible at a glance without
+matplotlib, which is not a dependency of this package.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+__all__ = ["sparkline", "ascii_line_chart", "ascii_bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line unicode sparkline of ``values`` (empty string for no data)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for value in values:
+        index = int((value - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 15,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render one or more ``(x, y)`` series on a shared ASCII grid.
+
+    Each series gets a distinct marker character; overlapping points show
+    the marker of the last series drawn.  Intended for the monotone ratio
+    curves of Figures 5/9, so no axis ticks beyond the extremes are drawn.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+    all_points = [(x, y) for values in series.values() for x, y in values]
+    if not all_points:
+        return "(no data)"
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    lo = min(ys) if y_min is None else y_min
+    hi = max(ys) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    markers = "*o+x#@%&"
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} {name}")
+        for x, y in values:
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - lo) / (hi - lo) * (height - 1))
+            row = height - 1 - max(0, min(height - 1, row))
+            grid[row][max(0, min(width - 1, col))] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:8.3f} ┐")
+    for row in grid:
+        lines.append("         │" + "".join(row))
+    lines.append(f"{lo:8.3f} └" + "─" * width)
+    lines.append(f"          x: {x_lo:g} … {x_hi:g}")
+    lines.extend(f"          {entry}" for entry in legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    rows: Sequence[Tuple[str, float]],
+    *,
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars (used for Figure 6-style data)."""
+    if not rows:
+        return "(no data)"
+    max_value = max(value for _, value in rows)
+    if max_value <= 0:
+        max_value = 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        bar = "█" * int(round(max(0.0, value) / max_value * width))
+        lines.append(f"{label.ljust(label_width)} │{bar} {value:g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Summary statistics and paired comparisons over repeated runs.
+
+The paper reports point estimates from its 30 traces; a careful
+reproduction should quantify run-to-run variability, because at small
+overlay sizes a single seed can swing the measured reduction ratio by
+several percentage points.  These helpers are used by the scaling example
+and by EXPERIMENTS.md's methodology notes.
+
+Only ``numpy`` is required; the normal-approximation confidence interval is
+adequate for the handful of repetitions typically run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "PairedComparison", "paired_comparison"]
+
+#: two-sided z-scores for the confidence levels supported without SciPy
+_Z_SCORES = {0.80: 1.2816, 0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean, spread and confidence half-width of a sample of run results."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_half_width: float
+    confidence: float
+
+    @property
+    def ci_low(self) -> float:
+        """Lower end of the confidence interval."""
+        return self.mean - self.ci_half_width
+
+    @property
+    def ci_high(self) -> float:
+        """Upper end of the confidence interval."""
+        return self.mean + self.ci_half_width
+
+    def format(self, unit: str = "") -> str:
+        """Human-readable ``mean ± half-width`` rendering."""
+        suffix = f" {unit}" if unit else ""
+        return f"{self.mean:.3f} ± {self.ci_half_width:.3f}{suffix} (n={self.n})"
+
+
+def summarize(values: Sequence[float], *, confidence: float = 0.95) -> SummaryStats:
+    """Summarise a sample of per-run measurements.
+
+    Parameters
+    ----------
+    values:
+        One measurement per independent run (e.g. the switch time of each
+        repetition).  Must be non-empty.
+    confidence:
+        Two-sided confidence level; one of 0.80, 0.90, 0.95, 0.99.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    if confidence not in _Z_SCORES:
+        raise ValueError(f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence}")
+    data = np.asarray(list(values), dtype=float)
+    std = float(data.std(ddof=1)) if data.size > 1 else 0.0
+    half_width = _Z_SCORES[confidence] * std / math.sqrt(data.size) if data.size > 1 else 0.0
+    return SummaryStats(
+        n=int(data.size),
+        mean=float(data.mean()),
+        std=std,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        ci_half_width=half_width,
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired comparison of a baseline and a treatment across seeds.
+
+    Attributes
+    ----------
+    baseline / treatment:
+        Summary statistics of the two samples.
+    mean_reduction:
+        Mean of the per-pair relative reductions
+        ``(baseline_i - treatment_i) / baseline_i``.
+    wins / losses / ties:
+        Sign counts of the per-pair differences (a "win" means the treatment
+        was strictly smaller, i.e. better for a time metric).
+    """
+
+    baseline: SummaryStats
+    treatment: SummaryStats
+    mean_reduction: float
+    wins: int
+    losses: int
+    ties: int
+
+    @property
+    def n(self) -> int:
+        """Number of pairs."""
+        return self.wins + self.losses + self.ties
+
+    @property
+    def win_rate(self) -> float:
+        """Fraction of pairs the treatment won (ties count as half)."""
+        if self.n == 0:
+            return 0.0
+        return (self.wins + 0.5 * self.ties) / self.n
+
+
+def paired_comparison(
+    baseline_values: Sequence[float],
+    treatment_values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Compare paired per-seed results of two algorithms.
+
+    ``baseline_values[i]`` and ``treatment_values[i]`` must come from the
+    same seed (the paired design of :func:`repro.experiments.runner.run_pair`).
+    """
+    if len(baseline_values) != len(treatment_values):
+        raise ValueError(
+            f"paired samples must have equal length, got "
+            f"{len(baseline_values)} and {len(treatment_values)}"
+        )
+    if len(baseline_values) == 0:
+        raise ValueError("cannot compare empty samples")
+    base = np.asarray(list(baseline_values), dtype=float)
+    treat = np.asarray(list(treatment_values), dtype=float)
+    reductions = np.where(base > 0, (base - treat) / np.where(base > 0, base, 1.0), 0.0)
+    diffs = base - treat
+    wins = int(np.sum(diffs > 0))
+    losses = int(np.sum(diffs < 0))
+    ties = int(np.sum(diffs == 0))
+    return PairedComparison(
+        baseline=summarize(base, confidence=confidence),
+        treatment=summarize(treat, confidence=confidence),
+        mean_reduction=float(reductions.mean()),
+        wins=wins,
+        losses=losses,
+        ties=ties,
+    )

@@ -1,0 +1,106 @@
+"""Churn policy: who leaves and how many join, per scheduling period.
+
+The policy is deliberately separated from its execution: it only draws the
+random decisions (so it can be unit-tested deterministically), while the
+session applies them to the overlay, the membership service and the peer
+population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["ChurnConfig", "ChurnPlan", "ChurnModel"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Churn intensity.
+
+    Attributes
+    ----------
+    leave_fraction:
+        Fraction of eligible (non-source, non-protected) peers leaving per
+        scheduling period.  The paper uses 0.05.
+    join_fraction:
+        Fraction (of the current eligible population) of new peers joining
+        per scheduling period.  The paper uses 0.05.
+    enabled:
+        Convenience switch; a disabled model always produces empty plans.
+    """
+
+    leave_fraction: float = 0.05
+    join_fraction: float = 0.05
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.leave_fraction <= 1.0):
+            raise ValueError(f"leave_fraction must be in [0, 1], got {self.leave_fraction}")
+        if not (0.0 <= self.join_fraction <= 1.0):
+            raise ValueError(f"join_fraction must be in [0, 1], got {self.join_fraction}")
+
+    @staticmethod
+    def disabled() -> "ChurnConfig":
+        """A churn configuration that never changes the membership."""
+        return ChurnConfig(leave_fraction=0.0, join_fraction=0.0, enabled=False)
+
+    @staticmethod
+    def paper_dynamic() -> "ChurnConfig":
+        """The paper's dynamic-environment setting (5% leave + 5% join)."""
+        return ChurnConfig(leave_fraction=0.05, join_fraction=0.05, enabled=True)
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """The churn decisions for one scheduling period."""
+
+    leavers: tuple[int, ...] = field(default_factory=tuple)
+    joins: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan changes nothing."""
+        return not self.leavers and self.joins == 0
+
+
+class ChurnModel:
+    """Draws per-period churn plans.
+
+    Parameters
+    ----------
+    config:
+        Churn intensity.
+    rng:
+        Random generator for leaver selection and join counts.
+    """
+
+    def __init__(self, config: ChurnConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self.total_leaves = 0
+        self.total_joins = 0
+
+    def plan_round(self, eligible_ids: Sequence[int]) -> ChurnPlan:
+        """Decide which of ``eligible_ids`` leave and how many peers join.
+
+        The expected number of leavers (joiners) is ``leave_fraction``
+        (``join_fraction``) times the eligible population; the realised
+        count is the rounded expectation, so small populations still churn
+        every few periods rather than never.
+        """
+        if not self.config.enabled or not eligible_ids:
+            return ChurnPlan()
+        population = len(eligible_ids)
+        n_leave = int(round(self.config.leave_fraction * population))
+        n_join = int(round(self.config.join_fraction * population))
+        n_leave = min(n_leave, population)
+        leavers: List[int] = []
+        if n_leave > 0:
+            picked = self._rng.choice(population, size=n_leave, replace=False)
+            leavers = [int(eligible_ids[int(i)]) for i in np.atleast_1d(picked)]
+        self.total_leaves += len(leavers)
+        self.total_joins += n_join
+        return ChurnPlan(leavers=tuple(sorted(leavers)), joins=n_join)

@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+Installed as ``repro-gossip`` (see ``pyproject.toml``), also usable as
+``python -m repro.cli``.  Sub-commands:
+
+``figure N``
+    Regenerate the data behind paper figure ``N`` and print it as a table
+    (optionally as JSON).  ``--paper-scale`` switches to the paper's full
+    overlay sizes (slow); the default uses the reduced benchmark sizes.
+
+``run``
+    Run a single simulation (choose algorithm, size, seed, churn) and print
+    its summary metrics.
+
+``compare``
+    Run a paired fast-vs-normal comparison and print the reduction ratio.
+
+``scenario NAME``
+    Run one of the named example scenarios.
+
+``trace``
+    Generate a synthetic clip2/DSS-style overlay trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import make_session_config
+from repro.experiments.figures import FIGURE_GENERATORS, generate_figure
+from repro.experiments.runner import run_pair, run_single
+from repro.experiments.scenarios import SCENARIOS, scenario_config
+from repro.metrics.report import format_table
+from repro.overlay.generator import generate_trace
+from repro.overlay.trace import write_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description=(
+            "Reproduction of 'Fast Source Switching for Gossip-based "
+            "Peer-to-Peer Streaming' (ICPP 2008)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure's data")
+    fig.add_argument("number", choices=sorted(FIGURE_GENERATORS, key=int),
+                     help="paper figure number")
+    fig.add_argument("--seed", type=int, default=0)
+    fig.add_argument("--paper-scale", action="store_true",
+                     help="use the paper's full overlay sizes (slow)")
+    fig.add_argument("--sizes", type=int, nargs="+", default=None,
+                     help="override the swept overlay sizes")
+    fig.add_argument("--n-nodes", type=int, default=None,
+                     help="override the overlay size (ratio-track figures)")
+    fig.add_argument("--repetitions", type=int, default=1,
+                     help="independent repetitions per size (sweep figures)")
+    fig.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    fig.add_argument("--chart", action="store_true",
+                     help="also render the figure's series as an ASCII chart")
+
+    run = sub.add_parser("run", help="run a single simulation")
+    run.add_argument("--algorithm", choices=["fast", "normal"], default="fast")
+    run.add_argument("--n-nodes", type=int, default=200)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--dynamic", action="store_true", help="enable 5%% churn per period")
+    run.add_argument("--max-time", type=float, default=120.0)
+    run.add_argument("--json", action="store_true")
+
+    cmp_parser = sub.add_parser("compare", help="paired fast-vs-normal comparison")
+    cmp_parser.add_argument("--n-nodes", type=int, default=200)
+    cmp_parser.add_argument("--seed", type=int, default=0)
+    cmp_parser.add_argument("--dynamic", action="store_true")
+    cmp_parser.add_argument("--max-time", type=float, default=120.0)
+    cmp_parser.add_argument("--json", action="store_true")
+
+    scen = sub.add_parser("scenario", help="run a named example scenario")
+    scen.add_argument("name", choices=sorted(SCENARIOS))
+    scen.add_argument("--algorithm", choices=["fast", "normal"], default="fast")
+    scen.add_argument("--seed", type=int, default=0)
+    scen.add_argument("--json", action="store_true")
+
+    trace = sub.add_parser("trace", help="generate a synthetic overlay trace file")
+    trace.add_argument("path", help="output file path")
+    trace.add_argument("--n-nodes", type=int, default=1000)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--mean-degree", type=float, default=2.0)
+    return parser
+
+
+def _metrics_rows(result) -> List[dict]:
+    metrics = result.metrics
+    return [
+        {"metric": "algorithm", "value": metrics.algorithm},
+        {"metric": "tracked peers", "value": metrics.n_peers},
+        {"metric": "avg finishing time of S1 (s)", "value": round(metrics.avg_finish_old, 3)},
+        {"metric": "avg preparing time of S2 (s)", "value": round(metrics.avg_prepare_new, 3)},
+        {"metric": "avg switch time (s)", "value": round(metrics.avg_switch_time, 3)},
+        {"metric": "avg playback start of S2 (s)", "value": round(metrics.avg_start_time, 3)},
+        {"metric": "last prepare time (s)", "value": round(metrics.last_prepare_new, 3)},
+        {"metric": "unfinished peers", "value": metrics.unfinished},
+        {"metric": "communication overhead", "value": round(result.overhead_ratio, 5)},
+        {"metric": "rounds simulated", "value": result.n_rounds},
+        {"metric": "wallclock (s)", "value": round(result.wallclock_seconds, 2)},
+    ]
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    kwargs: dict = {"seed": args.seed}
+    if args.paper_scale:
+        kwargs["paper_scale"] = True
+    if args.number in {"6", "7", "8", "10", "11", "12"}:
+        if args.sizes:
+            kwargs["sizes"] = args.sizes
+        kwargs["repetitions"] = args.repetitions
+    if args.number in {"5", "9"} and args.n_nodes:
+        kwargs["n_nodes"] = args.n_nodes
+    if args.number == "2":
+        kwargs = {}
+    result = generate_figure(args.number, **kwargs)
+    if args.json:
+        print(json.dumps({
+            "figure": result.figure_id,
+            "title": result.title,
+            "meta": result.meta,
+            "rows": result.rows,
+            "series": result.series,
+        }, indent=2, default=str))
+    else:
+        print(result.to_text())
+        if getattr(args, "chart", False) and result.series:
+            from repro.analysis.charts import ascii_line_chart
+
+            print()
+            print(ascii_line_chart(result.series, title=f"Figure {result.figure_id}: "
+                                                        f"{result.title}"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = make_session_config(
+        args.n_nodes,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        dynamic=args.dynamic,
+        max_time=args.max_time,
+    )
+    result = run_single(config)
+    rows = _metrics_rows(result)
+    if args.json:
+        print(json.dumps({row["metric"]: row["value"] for row in rows}, indent=2))
+    else:
+        print(format_table(rows, ["metric", "value"]))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = make_session_config(
+        args.n_nodes,
+        seed=args.seed,
+        dynamic=args.dynamic,
+        max_time=args.max_time,
+    )
+    pair = run_pair(config)
+    row = pair.comparison().as_dict()
+    if args.json:
+        print(json.dumps(row, indent=2))
+    else:
+        print(format_table([row]))
+        print(f"\nswitch-time reduction: {pair.switch_time_reduction:.1%}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    config = scenario_config(args.name, algorithm=args.algorithm, seed=args.seed)
+    result = run_single(config)
+    rows = _metrics_rows(result)
+    scenario = SCENARIOS[args.name]
+    if args.json:
+        payload = {row["metric"]: row["value"] for row in rows}
+        payload["scenario"] = scenario.name
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"scenario: {scenario.name} -- {scenario.description}")
+        print(format_table(rows, ["metric", "value"]))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    records = generate_trace(args.n_nodes, seed=args.seed, mean_degree=args.mean_degree)
+    write_trace(records, args.path,
+                header=f"synthetic trace: n={args.n_nodes} seed={args.seed}")
+    print(f"wrote {len(records)} records to {args.path}")
+    return 0
+
+
+_COMMANDS = {
+    "figure": _cmd_figure,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "scenario": _cmd_scenario,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

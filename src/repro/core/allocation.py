@@ -1,0 +1,127 @@
+"""Four-case allocation of the inbound rate under outbound constraints (Section 4).
+
+In a real mesh the optimal split ``(r1, r2)`` from the closed-form model may
+be infeasible because the neighbours can only provide a limited outbound
+rate ``O1`` towards old-source segments and ``O2`` towards new-source
+segments.  The paper resolves this with four cases::
+
+    Case 1:  r1 <= O1 and r2 <= O2   ->  I1 = r1,              I2 = r2
+    Case 2:  r1 <= O1 and r2 >  O2   ->  I1 = min(O1, I - O2), I2 = O2
+    Case 3:  r1 >  O1 and r2 <= O2   ->  I1 = O1,              I2 = min(O2, I - O1)
+    Case 4:  r1 >  O1 and r2 >  O2   ->  I1 = O1,              I2 = O2
+
+Cases 2--4 maximise the peer's total inbound throughput when the optimum
+cannot be met.  :func:`allocate_rates` implements the rule verbatim and the
+property tests assert its invariants (never exceed ``I``, ``O1`` or ``O2``;
+reduce to the optimum when it is feasible).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.model import OptimalSplit, optimal_split
+
+__all__ = ["AllocationCase", "RateAllocation", "allocate_rates", "allocate_for_model"]
+
+
+class AllocationCase(enum.Enum):
+    """Which of the paper's four allocation cases applied."""
+
+    OPTIMUM_FEASIBLE = 1
+    NEW_LIMITED = 2
+    OLD_LIMITED = 3
+    BOTH_LIMITED = 4
+
+
+@dataclass(frozen=True)
+class RateAllocation:
+    """The allocated inbound rates for one scheduling period.
+
+    Attributes
+    ----------
+    i1 / i2:
+        Inbound rate (segments/second) granted to the old / new stream.
+    case:
+        The allocation case that produced them.
+    split:
+        The unconstrained optimum the case decision was based on.
+    """
+
+    i1: float
+    i2: float
+    case: AllocationCase
+    split: OptimalSplit
+
+    @property
+    def total(self) -> float:
+        """``I1 + I2``."""
+        return self.i1 + self.i2
+
+
+def allocate_rates(
+    split: OptimalSplit,
+    inbound: float,
+    o1: float,
+    o2: float,
+) -> RateAllocation:
+    """Apply the four-case rule to an already-computed optimal split.
+
+    Parameters
+    ----------
+    split:
+        Result of :func:`repro.core.model.optimal_split` for the current
+        ``(I, Q1, Q2, Q, p)``.
+    inbound:
+        Total inbound rate ``I``.
+    o1 / o2:
+        Available outbound rate of the neighbourhood towards old / new
+        segments (``|O1|/tau`` and ``|O2|/tau``).
+
+    Returns
+    -------
+    RateAllocation
+        Rates clipped so that ``I1 <= O1``, ``I2 <= O2`` and
+        ``I1 + I2 <= I`` always hold.
+    """
+    if inbound < 0 or o1 < 0 or o2 < 0:
+        raise ValueError("inbound, o1 and o2 must be non-negative")
+    r1, r2 = split.r1, split.r2
+
+    if r1 <= o1 and r2 <= o2:
+        case = AllocationCase.OPTIMUM_FEASIBLE
+        i1, i2 = r1, r2
+    elif r1 <= o1 and r2 > o2:
+        case = AllocationCase.NEW_LIMITED
+        i2 = o2
+        i1 = min(o1, inbound - o2)
+    elif r1 > o1 and r2 <= o2:
+        case = AllocationCase.OLD_LIMITED
+        i1 = o1
+        i2 = min(o2, inbound - o1)
+    else:
+        case = AllocationCase.BOTH_LIMITED
+        i1, i2 = o1, o2
+
+    # Clip defensively: the min() expressions above can go negative when a
+    # single stream's availability already exceeds the whole inbound rate
+    # (e.g. O2 > I in case 2); the paper implicitly assumes this cannot
+    # happen, but a practical implementation must not emit negative rates.
+    i1 = max(0.0, min(i1, o1, inbound))
+    i2 = max(0.0, min(i2, o2, inbound - i1))
+    return RateAllocation(i1=i1, i2=i2, case=case, split=split)
+
+
+def allocate_for_model(
+    inbound: float,
+    q1: float,
+    q2: float,
+    q: float,
+    p: float,
+    o1: float,
+    o2: float,
+) -> RateAllocation:
+    """Convenience wrapper: compute the optimum and apply the four cases."""
+    split = optimal_split(inbound, q1, q2, q, p)
+    return allocate_rates(split, inbound, o1, o2)

@@ -1,0 +1,224 @@
+"""The closed-form optimisation model of the switch process (Section 3).
+
+A peer still needs ``Q1`` segments of the old source ``S1`` and the first
+``Qs`` segments (of which ``Q2`` are still undelivered) of the new source
+``S2``.  Its constant total inbound rate ``I`` is split into ``I1 + I2``.
+The playback of ``S2`` can start only after the playback of ``S1`` has
+finished, which takes ``T1' = Q1 / I1 + Q / p`` (receive the backlog, then
+play out the final startup window of ``Q`` segments at ``p`` segments per
+second), and after the ``Q2`` startup segments of ``S2`` have arrived,
+which takes ``T2 = Q2 / I2``.
+
+The paper minimises ``T2`` subject to ``T2 >= T1'`` and obtains (Eq. 4)::
+
+            I - p(Q1+Q2)/Q + sqrt( (p(Q1+Q2)/Q - I)^2 + 4 p I Q1 / Q )
+    r1  =  -----------------------------------------------------------
+                                    2
+
+with ``I1 = r1`` and ``I2 = r2 = I - r1`` as the optimal split, and the
+negative root ``r1'`` discarded.
+
+This module implements that closed form together with the degenerate cases
+the formula does not cover (``Q1 = 0``, ``Q = 0``, ``I = 0``), exposes both
+quadratic roots for verification, and provides the resulting lower bound on
+the switch time which the simulation results can be compared against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "OptimalSplit",
+    "optimal_split",
+    "quadratic_roots",
+    "switch_time_lower_bound",
+    "finish_time_old",
+    "prepare_time_new",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class OptimalSplit:
+    """Result of the closed-form rate split.
+
+    Attributes
+    ----------
+    r1 / r2:
+        Optimal inbound rate for the old / new stream (segments/second);
+        ``r1 + r2 == I`` up to floating point error.
+    t1_prime:
+        Expected time to *finish the playback* of the old source under the
+        split (``Q1/r1 + Q/p``), ``0.0`` when nothing remains.
+    t2:
+        Expected time to gather the new source's startup segments
+        (``Q2/r2``); this equals the minimised switch time.
+    """
+
+    r1: float
+    r2: float
+    t1_prime: float
+    t2: float
+
+
+def quadratic_roots(inbound: float, q1: float, q2: float, q: float, p: float) -> Tuple[float, float]:
+    """Both roots ``(r1, r1')`` of the paper's quadratic (Eq. 4--5).
+
+    The inequality ``Q2/(I - I1) >= Q1/I1 + Q/p`` rearranges to
+    ``I1^2 + (p(Q1+Q2)/Q - I) I1 - p I Q1 / Q >= 0`` whose roots are
+    returned as ``(larger, smaller)``.  The smaller root is non-positive
+    whenever the inputs are non-negative (the paper discards it).
+
+    Raises
+    ------
+    ValueError
+        If ``q`` or ``p`` is not strictly positive (the formula divides by
+        both); callers should use :func:`optimal_split`, which handles the
+        degenerate cases explicitly.
+    """
+    if q <= 0:
+        raise ValueError(f"Q must be positive for the closed form, got {q}")
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    a = p * (q1 + q2) / q
+    b = a - inbound                     # the quadratic is  x^2 + b x - c = 0
+    c = p * inbound * q1 / q            # with c >= 0
+    disc = b * b + 4.0 * c
+    root = math.sqrt(max(disc, 0.0))
+    # Evaluate whichever root does NOT suffer cancellation directly, and
+    # recover the other one from the product of roots (x1 * x2 = -c).  For
+    # large b the naive "(-b + root)/2" loses most significant digits, which
+    # makes the downstream T2 >= T1' guarantee fail numerically.
+    if b > 0:
+        r1_neg = (-b - root) / 2.0
+        r1 = (-c / r1_neg) if r1_neg != 0.0 else 0.0
+    else:
+        r1 = (-b + root) / 2.0
+        r1_neg = (-c / r1) if r1 != 0.0 else 0.0
+    return r1, r1_neg
+
+
+def optimal_split(
+    inbound: float,
+    q1: float,
+    q2: float,
+    q: float,
+    p: float,
+) -> OptimalSplit:
+    """Compute the optimal inbound-rate split ``(I1, I2) = (r1, r2)``.
+
+    Parameters
+    ----------
+    inbound:
+        Total inbound rate ``I`` (segments/second), must be non-negative.
+    q1:
+        Undelivered segments of the old source (``Q1 >= 0``).
+    q2:
+        Undelivered startup segments of the new source (``Q2 >= 0``).
+    q:
+        Playback (re)start quota ``Q`` of the old source (``>= 0``).
+    p:
+        Playback rate ``p`` (segments/second), must be positive.
+
+    Returns
+    -------
+    OptimalSplit
+        The optimal split and the resulting completion times.  When the
+        total inbound rate is zero and work remains, the respective times
+        are ``inf``.
+
+    Notes
+    -----
+    Degenerate cases handled outside the closed form:
+
+    * ``Q1 == 0``: nothing of the old source remains; the only constraint is
+      the residual playback window, so ``I2 = min(I, Q2 * p / Q)`` when
+      ``Q > 0`` else ``I2 = I``.
+    * ``Q2 == 0``: the new source needs nothing; all capacity goes to the
+      old source.
+    * ``Q == 0``: no residual playback window; the constraint becomes
+      ``Q2/I2 >= Q1/I1`` giving the proportional split
+      ``r1 = I * Q1 / (Q1 + Q2)``.
+    """
+    if inbound < 0:
+        raise ValueError(f"inbound rate must be non-negative, got {inbound}")
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    if q1 < 0 or q2 < 0 or q < 0:
+        raise ValueError("Q1, Q2 and Q must be non-negative")
+
+    if q2 <= _EPS:
+        # Nothing to fetch from the new source: dedicate everything to S1.
+        r1, r2 = float(inbound), 0.0
+        return OptimalSplit(
+            r1=r1,
+            r2=r2,
+            t1_prime=_safe_div(q1, r1) + _safe_div(q, p) if q1 > 0 else _safe_div(q, p),
+            t2=0.0,
+        )
+
+    if q1 <= _EPS:
+        # Only the residual playback window constrains T2.
+        if q <= _EPS:
+            r2 = float(inbound)
+        else:
+            r2 = min(float(inbound), q2 * p / q)
+        r1 = float(inbound) - r2
+        return OptimalSplit(
+            r1=r1,
+            r2=r2,
+            t1_prime=_safe_div(q, p),
+            t2=_safe_div(q2, r2),
+        )
+
+    if q <= _EPS:
+        # Proportional split (limit Q -> 0 of the closed form).
+        r1 = inbound * q1 / (q1 + q2)
+    else:
+        r1, _ = quadratic_roots(inbound, q1, q2, q, p)
+    r1 = min(max(r1, 0.0), float(inbound))
+    r2 = float(inbound) - r1
+    return OptimalSplit(
+        r1=r1,
+        r2=r2,
+        t1_prime=_safe_div(q1, r1) + _safe_div(q, p),
+        t2=_safe_div(q2, r2),
+    )
+
+
+def finish_time_old(q1: float, q: float, p: float, i1: float) -> float:
+    """``T1' = Q1/I1 + Q/p`` for an arbitrary (not necessarily optimal) split."""
+    return _safe_div(q1, i1) + _safe_div(q, p)
+
+
+def prepare_time_new(q2: float, i2: float) -> float:
+    """``T2 = Q2/I2`` for an arbitrary split."""
+    return _safe_div(q2, i2)
+
+
+def switch_time_lower_bound(
+    inbound: float,
+    q1: float,
+    q2: float,
+    q: float,
+    p: float,
+) -> float:
+    """The model's lower bound on a peer's switch time.
+
+    This is simply ``T2`` of the optimal split -- the best any scheduling
+    algorithm could do if segment availability and neighbour outbound
+    capacity were unconstrained.  The simulation benchmarks report how far
+    both practical algorithms are from this bound.
+    """
+    return optimal_split(inbound, q1, q2, q, p).t2
+
+
+def _safe_div(num: float, den: float) -> float:
+    """``num / den`` with ``0/0 -> 0`` and ``x/0 -> inf`` for ``x > 0``."""
+    if den > _EPS:
+        return num / den
+    return 0.0 if num <= _EPS else math.inf

@@ -1,0 +1,64 @@
+"""Experiment harness: configurations, runners, sweeps and figure generators.
+
+This subpackage turns the simulator into the paper's evaluation:
+
+* :mod:`repro.experiments.config` -- named parameter sets (the paper's
+  defaults, reduced laptop-scale defaults used by the benchmark suite, the
+  size sweeps of Figures 6--8 and 10--12);
+* :mod:`repro.experiments.runner` -- run one configuration, or a paired
+  fast-vs-normal comparison on identical random draws;
+* :mod:`repro.experiments.sweeps` -- network-size sweeps with caching so
+  the figure generators that share a sweep (6/7/8 and 10/11/12) do not
+  re-simulate;
+* :mod:`repro.experiments.figures` -- one generator per paper figure,
+  returning the plotted series/rows as plain data (the benchmark harness
+  prints them; nothing here depends on matplotlib);
+* :mod:`repro.experiments.scenarios` -- the named end-to-end scenarios used
+  by the examples and the CLI.
+"""
+
+from repro.experiments.config import (
+    BENCH_SWEEP_SIZES,
+    PAPER_SWEEP_SIZES,
+    ExperimentDefaults,
+    make_session_config,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    figure2,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    generate_figure,
+)
+from repro.experiments.runner import PairedRunResult, run_pair, run_single
+from repro.experiments.sweeps import SizeSweepResult, SweepPoint, run_size_sweep
+
+__all__ = [
+    "ExperimentDefaults",
+    "make_session_config",
+    "PAPER_SWEEP_SIZES",
+    "BENCH_SWEEP_SIZES",
+    "run_single",
+    "run_pair",
+    "PairedRunResult",
+    "run_size_sweep",
+    "SizeSweepResult",
+    "SweepPoint",
+    "FigureResult",
+    "figure2",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "generate_figure",
+]

@@ -1,0 +1,58 @@
+"""Run single sessions and paired fast-vs-normal comparisons.
+
+The paper's comparisons are *paired*: both algorithms are evaluated on the
+same overlay topologies, bandwidth assignments and churn schedules.
+:func:`run_pair` guarantees this by building both sessions from the same
+:class:`~repro.streaming.session.SessionConfig` (differing only in the
+``algorithm`` field), which -- thanks to the named random streams of
+:class:`repro.sim.rng.RandomStreams` -- reproduces identical random draws
+for everything outside the algorithm itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.report import ComparisonRow, compare_metrics
+from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
+
+__all__ = ["run_single", "PairedRunResult", "run_pair"]
+
+
+def run_single(config: SessionConfig) -> SessionResult:
+    """Build and run one session."""
+    return SwitchSession(config).run()
+
+
+@dataclass(frozen=True)
+class PairedRunResult:
+    """Results of one paired comparison (same seed, both algorithms)."""
+
+    normal: SessionResult
+    fast: SessionResult
+
+    @property
+    def n_nodes(self) -> int:
+        """Overlay size of the paired runs."""
+        return self.normal.config.n_nodes
+
+    def comparison(self, label: Optional[str] = None) -> ComparisonRow:
+        """Fast-vs-normal comparison row (Figure 6/7-style quantities)."""
+        label = label if label is not None else str(self.n_nodes)
+        return compare_metrics(label, self.normal.metrics, self.fast.metrics)
+
+    @property
+    def switch_time_reduction(self) -> float:
+        """The paper's headline metric: relative switch-time reduction."""
+        return self.comparison().switch_time_reduction
+
+
+def run_pair(config: SessionConfig) -> PairedRunResult:
+    """Run the normal and the fast switch algorithm on identical random draws.
+
+    The ``algorithm`` field of ``config`` is ignored; both variants are run.
+    """
+    normal_result = run_single(config.with_algorithm("normal"))
+    fast_result = run_single(config.with_algorithm("fast"))
+    return PairedRunResult(normal=normal_result, fast=fast_result)

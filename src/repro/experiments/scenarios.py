@@ -1,0 +1,95 @@
+"""Named end-to-end scenarios used by the examples and the CLI.
+
+A scenario is just a recipe for a :class:`~repro.streaming.session.SessionConfig`
+with a human-readable description.  The three shipped scenarios mirror the
+application settings the paper's introduction motivates:
+
+* ``video-conference`` -- a moderate-size conference where the speaker
+  (source) changes; static membership.
+* ``distance-education`` -- a larger lecture audience with students joining
+  and leaving continuously (the paper's dynamic environment).
+* ``flash-crowd`` -- a stress variant with tighter bandwidth and a larger
+  startup window, used to illustrate how far the practical algorithms sit
+  from the model's lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.churn.model import ChurnConfig
+from repro.experiments.config import make_session_config
+from repro.streaming.session import SessionConfig
+
+__all__ = ["Scenario", "SCENARIOS", "scenario_config"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named simulation recipe."""
+
+    name: str
+    description: str
+    n_nodes: int
+    dynamic: bool
+    overrides: Mapping[str, object]
+
+    def config(self, *, algorithm: str = "fast", seed: int = 0) -> SessionConfig:
+        """Materialise the scenario into a session configuration."""
+        return make_session_config(
+            self.n_nodes,
+            algorithm=algorithm,
+            seed=seed,
+            dynamic=self.dynamic,
+            **dict(self.overrides),
+        )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "video-conference": Scenario(
+        name="video-conference",
+        description=(
+            "A 300-participant conference; the speaker changes and every "
+            "participant must switch to the new speaker's stream quickly."
+        ),
+        n_nodes=300,
+        dynamic=False,
+        overrides={"max_time": 90.0},
+    ),
+    "distance-education": Scenario(
+        name="distance-education",
+        description=(
+            "An 800-student lecture with students joining and leaving "
+            "(5% per scheduling period) while the lecturer hands over."
+        ),
+        n_nodes=800,
+        dynamic=True,
+        overrides={"max_time": 90.0},
+    ),
+    "flash-crowd": Scenario(
+        name="flash-crowd",
+        description=(
+            "A 500-node overlay under tight bandwidth (mean inbound 12 "
+            "segments/s) and a large startup window (Qs=80), stressing the "
+            "rate-allocation cases of the fast switch algorithm."
+        ),
+        n_nodes=500,
+        dynamic=False,
+        overrides={
+            "inbound_mean": 12.0,
+            "outbound_mean": 12.0,
+            "startup_quota_new": 80,
+            "max_time": 120.0,
+        },
+    ),
+}
+
+
+def scenario_config(name: str, *, algorithm: str = "fast", seed: int = 0) -> SessionConfig:
+    """Configuration for a named scenario (``KeyError`` with a hint otherwise)."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}") from exc
+    return scenario.config(algorithm=algorithm, seed=seed)

@@ -1,0 +1,160 @@
+"""Network-size sweeps (the workload behind Figures 6--8 and 10--12).
+
+A size sweep runs a paired fast-vs-normal comparison for every overlay size
+in the list.  Figures 6, 7 and 8 (and their dynamic counterparts 10, 11,
+12) all plot quantities of the *same* sweep, so the sweep result is cached
+in-process: the three figure generators -- and the three benchmark modules
+-- share one set of simulations per parameterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import PairedRunResult, run_pair
+from repro.metrics.report import ComparisonRow, reduction_ratio
+
+__all__ = ["SweepPoint", "SizeSweepResult", "run_size_sweep", "clear_sweep_cache"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated results for one overlay size (averaged over repetitions)."""
+
+    n_nodes: int
+    normal_finish_old: float
+    fast_finish_old: float
+    fast_prepare_new: float
+    normal_prepare_new: float
+    normal_switch_time: float
+    fast_switch_time: float
+    reduction: float
+    normal_overhead: float
+    fast_overhead: float
+    repetitions: int
+
+    def as_row(self) -> Dict[str, float | int]:
+        """Dictionary form used by reports and the CLI."""
+        return {
+            "n_nodes": self.n_nodes,
+            "normal_finish_old": self.normal_finish_old,
+            "fast_finish_old": self.fast_finish_old,
+            "fast_prepare_new": self.fast_prepare_new,
+            "normal_prepare_new": self.normal_prepare_new,
+            "normal_switch_time": self.normal_switch_time,
+            "fast_switch_time": self.fast_switch_time,
+            "reduction": self.reduction,
+            "normal_overhead": self.normal_overhead,
+            "fast_overhead": self.fast_overhead,
+            "repetitions": self.repetitions,
+        }
+
+
+@dataclass(frozen=True)
+class SizeSweepResult:
+    """All sweep points of one size sweep, in ascending size order."""
+
+    dynamic: bool
+    seed: int
+    points: Tuple[SweepPoint, ...]
+
+    def rows(self) -> List[Dict[str, float | int]]:
+        """One dictionary per size (for table printing)."""
+        return [point.as_row() for point in self.points]
+
+    def series(self, field: str) -> List[Tuple[float, float]]:
+        """``(n_nodes, value)`` series of any :class:`SweepPoint` field."""
+        return [(float(p.n_nodes), float(getattr(p, field))) for p in self.points]
+
+    def point_for(self, n_nodes: int) -> SweepPoint:
+        """The sweep point of a given size (``KeyError`` if absent)."""
+        for point in self.points:
+            if point.n_nodes == n_nodes:
+                return point
+        raise KeyError(n_nodes)
+
+
+def _aggregate(n_nodes: int, pairs: Sequence[PairedRunResult]) -> SweepPoint:
+    """Average the paired results of all repetitions at one size."""
+
+    def mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    normal_prepare = mean([p.normal.metrics.avg_prepare_new for p in pairs])
+    fast_prepare = mean([p.fast.metrics.avg_prepare_new for p in pairs])
+    return SweepPoint(
+        n_nodes=n_nodes,
+        normal_finish_old=mean([p.normal.metrics.avg_finish_old for p in pairs]),
+        fast_finish_old=mean([p.fast.metrics.avg_finish_old for p in pairs]),
+        fast_prepare_new=fast_prepare,
+        normal_prepare_new=normal_prepare,
+        normal_switch_time=normal_prepare,
+        fast_switch_time=fast_prepare,
+        reduction=reduction_ratio(normal_prepare, fast_prepare),
+        normal_overhead=mean([p.normal.overhead_ratio for p in pairs]),
+        fast_overhead=mean([p.fast.overhead_ratio for p in pairs]),
+        repetitions=len(pairs),
+    )
+
+
+@lru_cache(maxsize=32)
+def _cached_sweep(
+    sizes: Tuple[int, ...],
+    dynamic: bool,
+    seed: int,
+    repetitions: int,
+    overrides_key: Tuple[Tuple[str, object], ...],
+) -> SizeSweepResult:
+    overrides = dict(overrides_key)
+    points: List[SweepPoint] = []
+    for n_nodes in sizes:
+        pairs: List[PairedRunResult] = []
+        for repetition in range(repetitions):
+            config = make_session_config(
+                n_nodes,
+                seed=seed + repetition,
+                dynamic=dynamic,
+                record_rounds=False,
+                **overrides,
+            )
+            pairs.append(run_pair(config))
+        points.append(_aggregate(n_nodes, pairs))
+    return SizeSweepResult(dynamic=dynamic, seed=seed, points=tuple(points))
+
+
+def run_size_sweep(
+    sizes: Sequence[int],
+    *,
+    dynamic: bool = False,
+    seed: int = 0,
+    repetitions: int = 1,
+    overrides: Optional[Dict[str, object]] = None,
+) -> SizeSweepResult:
+    """Run (or fetch from cache) a paired size sweep.
+
+    Parameters
+    ----------
+    sizes:
+        Overlay sizes, e.g. :data:`repro.experiments.config.PAPER_SWEEP_SIZES`.
+    dynamic:
+        Enable the paper's churn model (Figures 10--12) or not (6--8).
+    seed:
+        Base seed; repetition ``k`` uses ``seed + k``.
+    repetitions:
+        Independent repetitions per size (the paper averages over several
+        traces per size; use >= 3 for paper-grade numbers).
+    overrides:
+        Extra :class:`SessionConfig` overrides applied to every run.
+    """
+    overrides = dict(overrides or {})
+    overrides_key = tuple(sorted(overrides.items()))
+    return _cached_sweep(tuple(int(s) for s in sizes), bool(dynamic), int(seed),
+                         int(repetitions), overrides_key)
+
+
+def clear_sweep_cache() -> None:
+    """Drop all cached sweeps (used by tests)."""
+    _cached_sweep.cache_clear()

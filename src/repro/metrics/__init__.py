@@ -1,0 +1,40 @@
+"""Metrics: collectors, overhead accounting and result reports.
+
+The paper's evaluation (Section 5.2) uses three primary metrics and three
+supplementary ones; all are implemented here:
+
+Primary
+    1. *Average preparing time of the new source* (= average switch time):
+       mean time for all nodes to gather the ``Qs`` startup segments of the
+       new source.
+    2. *Reduction ratio*: relative reduction of the average switch time of
+       the fast algorithm versus the normal algorithm.
+    3. *Communication overhead*: buffer-map exchange bits divided by
+       delivered data bits.
+
+Supplementary
+    * *Undelivered ratio of the old source* ``Q1/Q0`` over time,
+    * *Delivered ratio of the new source* ``(Qs - Q2)/Qs`` over time,
+    * *Average finishing time of the old source* ``T1'``.
+"""
+
+from repro.metrics.collectors import MetricsCollector, PeerOutcome, RoundSample, SwitchMetrics
+from repro.metrics.overhead import OverheadAccountant
+from repro.metrics.report import (
+    ComparisonRow,
+    compare_metrics,
+    format_table,
+    reduction_ratio,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "PeerOutcome",
+    "RoundSample",
+    "SwitchMetrics",
+    "OverheadAccountant",
+    "ComparisonRow",
+    "compare_metrics",
+    "format_table",
+    "reduction_ratio",
+]

@@ -1,0 +1,228 @@
+"""Per-round and per-run metric collection.
+
+The collector is fed once per scheduling period with the tracked peers'
+state and produces:
+
+* a :class:`RoundSample` time series -- the data behind the *ratio track*
+  figures (Figures 5 and 9): average undelivered ratio of the old source
+  and average delivered ratio of the new source's startup window;
+* a :class:`SwitchMetrics` summary -- the data behind the bar/line figures
+  (Figures 6, 7, 10, 11): average (and worst-case) finishing time of the
+  old source, preparing time of the new source and switch completion time.
+
+Peers that never complete within the simulated horizon are accounted for
+with the horizon time (and counted in ``unfinished``), so truncated runs
+bias both algorithms identically instead of silently dropping slow nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PeerOutcome", "RoundSample", "SwitchMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class PeerOutcome:
+    """Final per-peer switch outcome.
+
+    Attributes
+    ----------
+    node_id:
+        Peer id.
+    q0:
+        Undelivered old-source segments at the switch instant.
+    finish_old_time:
+        When the peer finished playing the old source (``None`` if never).
+    prepared_new_time:
+        When the peer had gathered the new source's startup window.
+    switch_complete_time:
+        When the peer actually started playing the new source
+        (``max`` of the two conditions).
+    stalls:
+        Old-stream playback stalls experienced after the switch instant.
+    segments_received:
+        Total segments delivered to the peer during the measured window.
+    """
+
+    node_id: int
+    q0: int
+    finish_old_time: Optional[float]
+    prepared_new_time: Optional[float]
+    switch_complete_time: Optional[float]
+    stalls: int = 0
+    segments_received: int = 0
+
+
+@dataclass(frozen=True)
+class RoundSample:
+    """System-wide averages at the end of one scheduling period."""
+
+    time: float
+    undelivered_ratio_old: float
+    delivered_ratio_new: float
+    fraction_finished_old: float
+    fraction_prepared_new: float
+    fraction_switched: float
+    tracked_peers: int
+
+
+@dataclass
+class SwitchMetrics:
+    """Summary of one simulation run.
+
+    All times are in seconds from the switch instant.  ``avg_switch_time``
+    is the paper's headline metric (the average preparing time of the new
+    source); ``avg_start_time`` additionally respects the
+    finished-old-playback condition (the time playback of the new source
+    actually starts).
+    """
+
+    algorithm: str
+    n_peers: int
+    avg_finish_old: float
+    avg_prepare_new: float
+    avg_switch_time: float
+    avg_start_time: float
+    last_finish_old: float
+    last_prepare_new: float
+    last_start_time: float
+    unfinished: int
+    horizon: float
+    overhead_ratio: float = 0.0
+    rounds: List[RoundSample] = field(default_factory=list)
+    outcomes: List[PeerOutcome] = field(default_factory=list)
+
+    def series(self, attribute: str) -> List[tuple[float, float]]:
+        """``(time, value)`` series of a :class:`RoundSample` attribute."""
+        return [(sample.time, getattr(sample, attribute)) for sample in self.rounds]
+
+
+class MetricsCollector:
+    """Collects round samples and computes the final summary."""
+
+    def __init__(self, startup_quota_new: int) -> None:
+        if startup_quota_new <= 0:
+            raise ValueError("startup_quota_new must be positive")
+        self.startup_quota_new = int(startup_quota_new)
+        self.rounds: List[RoundSample] = []
+
+    # ------------------------------------------------------------------ #
+    def sample_round(self, time: float, peers: Sequence) -> RoundSample:
+        """Record system-wide averages over the tracked ``peers``.
+
+        ``peers`` are :class:`repro.streaming.peer.PeerNode` objects (typed
+        loosely to keep this module free of simulator imports for testing).
+        """
+        tracked = [p for p in peers if getattr(p, "tracked", True)]
+        if not tracked:
+            sample = RoundSample(
+                time=float(time),
+                undelivered_ratio_old=0.0,
+                delivered_ratio_new=0.0,
+                fraction_finished_old=1.0,
+                fraction_prepared_new=1.0,
+                fraction_switched=1.0,
+                tracked_peers=0,
+            )
+            self.rounds.append(sample)
+            return sample
+
+        undelivered: List[float] = []
+        delivered: List[float] = []
+        finished = 0
+        prepared = 0
+        switched = 0
+        for peer in tracked:
+            q0 = peer.q0 if peer.q0 else 0
+            if q0 > 0:
+                undelivered.append(peer.undelivered_old() / q0)
+            else:
+                undelivered.append(0.0)
+            delivered.append(peer.delivered_new_startup() / self.startup_quota_new)
+            if peer.finish_old_time is not None:
+                finished += 1
+            if peer.prepared_new_time is not None:
+                prepared += 1
+            if peer.switch_complete_time is not None:
+                switched += 1
+
+        count = len(tracked)
+        sample = RoundSample(
+            time=float(time),
+            undelivered_ratio_old=float(np.mean(undelivered)),
+            delivered_ratio_new=float(np.mean(delivered)),
+            fraction_finished_old=finished / count,
+            fraction_prepared_new=prepared / count,
+            fraction_switched=switched / count,
+            tracked_peers=count,
+        )
+        self.rounds.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------ #
+    def finalize(
+        self,
+        peers: Sequence,
+        *,
+        algorithm: str,
+        horizon: float,
+        overhead_ratio: float = 0.0,
+    ) -> SwitchMetrics:
+        """Build the run summary from the tracked peers' recorded times."""
+        tracked = [p for p in peers if getattr(p, "tracked", True)]
+        outcomes: List[PeerOutcome] = []
+        finish_times: List[float] = []
+        prepare_times: List[float] = []
+        start_times: List[float] = []
+        unfinished = 0
+        for peer in tracked:
+            finish = peer.finish_old_time
+            prepare = peer.prepared_new_time
+            start = peer.switch_complete_time
+            if finish is None or prepare is None or start is None:
+                unfinished += 1
+            finish_times.append(finish if finish is not None else horizon)
+            prepare_times.append(prepare if prepare is not None else horizon)
+            start_times.append(start if start is not None else horizon)
+            outcomes.append(
+                PeerOutcome(
+                    node_id=peer.node_id,
+                    q0=peer.q0 or 0,
+                    finish_old_time=finish,
+                    prepared_new_time=prepare,
+                    switch_complete_time=start,
+                    stalls=peer.playback_old.stall_periods if peer.playback_old else 0,
+                    segments_received=peer.segments_received_total,
+                )
+            )
+
+        return SwitchMetrics(
+            algorithm=algorithm,
+            n_peers=len(tracked),
+            avg_finish_old=_mean(finish_times),
+            avg_prepare_new=_mean(prepare_times),
+            avg_switch_time=_mean(prepare_times),
+            avg_start_time=_mean(start_times),
+            last_finish_old=_max(finish_times),
+            last_prepare_new=_max(prepare_times),
+            last_start_time=_max(start_times),
+            unfinished=unfinished,
+            horizon=float(horizon),
+            overhead_ratio=float(overhead_ratio),
+            rounds=list(self.rounds),
+            outcomes=outcomes,
+        )
+
+
+def _mean(values: Iterable[float]) -> float:
+    values = list(values)
+    return float(np.mean(values)) if values else 0.0
+
+
+def _max(values: Iterable[float]) -> float:
+    values = list(values)
+    return float(np.max(values)) if values else 0.0

@@ -1,0 +1,154 @@
+"""Gossip membership management (neighbour lists under churn).
+
+CoolStreaming-style systems (the class of systems the paper targets) rely
+on a gossip membership protocol [Ganesh et al. 2003] to give every node a
+small partial view of the overlay from which it picks ``M`` streaming
+neighbours.  For the purposes of the switch-time evaluation the relevant
+behaviours are:
+
+* a joining node obtains ``M`` random alive neighbours,
+* a leaving (or failed) node silently disappears; its former neighbours
+  detect the loss at the next scheduling period and repair their neighbour
+  set back to the minimum degree by picking new random partners,
+* partner choices are random and uniform over alive nodes (the random
+  partner selection is what gives gossip dissemination its resilience).
+
+:class:`MembershipService` implements these behaviours directly against the
+:class:`~repro.overlay.topology.Overlay`, which keeps the simulation faithful
+to the paper while avoiding per-message simulation of the membership gossip
+itself (whose traffic the paper does not count either).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.overlay.topology import NodeInfo, Overlay
+
+__all__ = ["MembershipService"]
+
+
+class MembershipService:
+    """Maintains the overlay neighbour structure under join/leave churn.
+
+    Parameters
+    ----------
+    overlay:
+        The overlay to manage (mutated in place).
+    min_degree:
+        The target number of streaming neighbours ``M`` (paper: 5).
+    rng:
+        Random generator used for partner selection.
+    protected:
+        Node ids that must never be removed by churn (the sources).
+    """
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        min_degree: int,
+        rng: np.random.Generator,
+        *,
+        protected: Iterable[int] = (),
+    ) -> None:
+        if min_degree < 1:
+            raise ValueError(f"min_degree must be >= 1, got {min_degree}")
+        self.overlay = overlay
+        self.min_degree = int(min_degree)
+        self._rng = rng
+        self.protected = set(protected)
+        self._next_id = (max(overlay.node_ids) + 1) if len(overlay) else 0
+        #: cumulative counters, useful for tests and reports
+        self.joins = 0
+        self.leaves = 0
+        self.repairs = 0
+
+    # ------------------------------------------------------------------ #
+    # membership changes
+    # ------------------------------------------------------------------ #
+    def allocate_node_id(self) -> int:
+        """Return a fresh, never-used node id."""
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def join(self, info: Optional[NodeInfo] = None) -> int:
+        """Add a new node with ``min_degree`` random alive neighbours.
+
+        Returns the id of the new node.
+        """
+        if info is None:
+            info = NodeInfo(node_id=self.allocate_node_id())
+        elif info.node_id >= self._next_id:
+            self._next_id = info.node_id + 1
+        self.overlay.add_node(info)
+        self._connect_to_random_partners(info.node_id, self.min_degree)
+        self.joins += 1
+        return info.node_id
+
+    def leave(self, node_id: int) -> List[int]:
+        """Remove ``node_id`` from the overlay.
+
+        Returns the ids of its former neighbours (the peers that will need
+        repair).  Protected nodes raise ``ValueError``.
+        """
+        if node_id in self.protected:
+            raise ValueError(f"node {node_id} is protected and cannot leave")
+        former = self.overlay.neighbours(node_id)
+        self.overlay.remove_node(node_id)
+        self.leaves += 1
+        return former
+
+    def repair(self, node_ids: Optional[Sequence[int]] = None) -> int:
+        """Restore the minimum degree of the given nodes (default: all).
+
+        Returns the number of edges added.
+        """
+        if node_ids is None:
+            node_ids = self.overlay.node_ids
+        added = 0
+        for node_id in node_ids:
+            if node_id not in self.overlay:
+                continue
+            deficit = self.min_degree - self.overlay.degree(node_id)
+            if deficit > 0:
+                added += self._connect_to_random_partners(node_id, deficit)
+        if added:
+            self.repairs += 1
+        return added
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _connect_to_random_partners(self, node_id: int, count: int) -> int:
+        """Connect ``node_id`` to up to ``count`` random non-neighbours."""
+        candidates = [
+            other
+            for other in self.overlay.node_ids
+            if other != node_id and not self.overlay.has_edge(node_id, other)
+        ]
+        if not candidates:
+            return 0
+        count = min(count, len(candidates))
+        chosen = self._rng.choice(len(candidates), size=count, replace=False)
+        added = 0
+        for idx in np.atleast_1d(chosen):
+            if self.overlay.add_edge(node_id, candidates[int(idx)]):
+                added += 1
+        return added
+
+    def random_alive_peer(self, exclude: Iterable[int] = ()) -> Optional[int]:
+        """A uniformly random alive node id not in ``exclude`` (or ``None``)."""
+        exclude_set = set(exclude)
+        candidates = [n for n in self.overlay.node_ids if n not in exclude_set]
+        if not candidates:
+            return None
+        return int(candidates[int(self._rng.integers(0, len(candidates)))])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MembershipService(nodes={len(self.overlay)}, M={self.min_degree}, "
+            f"joins={self.joins}, leaves={self.leaves})"
+        )

@@ -1,0 +1,40 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates the fast source switch algorithm on an ad-hoc simulator
+of a pull-based (gossip) P2P streaming system with a data scheduling period
+of ``tau = 1.0`` seconds.  This subpackage provides the generic simulation
+machinery that the streaming substrate (:mod:`repro.streaming`) is built on:
+
+* :class:`~repro.sim.clock.SimulationClock` -- the virtual time source,
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.EventQueue`
+  -- the time-ordered event queue,
+* :class:`~repro.sim.engine.SimulationEngine` -- the event loop, with
+  support for one-shot and periodic callbacks (processes),
+* :class:`~repro.sim.process.PeriodicProcess` -- the scheduling-period
+  abstraction used by peers, sources and the churn model,
+* :mod:`repro.sim.rng` -- deterministic, named random-number streams so
+  that every experiment is exactly reproducible from a single seed.
+
+The engine is deliberately minimal and dependency-free: the streaming
+workload drives it with one periodic process per logical activity (rounds,
+churn, metric sampling) rather than one event per packet, which keeps
+laptop-scale runs of thousands of peers tractable (see the scaling notes in
+``DESIGN.md``).
+"""
+
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import SimulationEngine, StopSimulation
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RandomStreams, derive_seed
+
+__all__ = [
+    "SimulationClock",
+    "SimulationEngine",
+    "StopSimulation",
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "RandomStreams",
+    "derive_seed",
+]

@@ -1,0 +1,192 @@
+"""The discrete-event simulation engine.
+
+:class:`SimulationEngine` owns the clock and the event queue and exposes a
+small API used by the streaming substrate:
+
+* :meth:`SimulationEngine.schedule` / :meth:`schedule_in` -- one-shot events,
+* :meth:`SimulationEngine.schedule_periodic` -- periodic processes
+  (peer scheduling rounds, churn, metric sampling),
+* :meth:`SimulationEngine.run` / :meth:`run_until` / :meth:`step` -- the
+  event loop,
+* :exc:`StopSimulation` -- raised by a callback to end the run early
+  (used when every peer has completed its source switch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.clock import SimulationClock
+from repro.sim.events import Event, EventCallback, EventQueue
+from repro.sim.process import PeriodicProcess
+
+
+class StopSimulation(Exception):
+    """Raised from an event callback to stop the event loop immediately.
+
+    The optional ``reason`` is preserved on :attr:`SimulationEngine.stop_reason`.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class SimulationEngine:
+    """A deterministic discrete-event simulation loop.
+
+    Parameters
+    ----------
+    start_time:
+        Initial simulation time (seconds).  Experiments with a simulated
+        warm-up start at a negative time so that the source switch happens
+        at ``t = 0`` exactly as in the paper's timeline.
+
+    Notes
+    -----
+    The engine is single-threaded and deterministic: events with identical
+    timestamps execute in (priority, insertion) order.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = SimulationClock(start_time)
+        self.queue = EventQueue()
+        self._running = False
+        self._processed = 0
+        self.stop_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.clock.now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        when: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Raises
+        ------
+        ValueError
+            If ``when`` is in the past.
+        """
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event in the past: now={self.clock.now}, when={when}"
+            )
+        return self.queue.push(when, callback, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.clock.now + delay, callback, priority=priority, label=label)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[float], None],
+        *,
+        start: Optional[float] = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> PeriodicProcess:
+        """Register a periodic process firing every ``period`` seconds.
+
+        The ``callback`` receives the current simulation time.  The first
+        firing happens at ``start`` (defaults to ``now + period``).
+        """
+        process = PeriodicProcess(
+            engine=self,
+            period=period,
+            callback=callback,
+            priority=priority,
+            label=label,
+        )
+        first = self.clock.now + period if start is None else start
+        process.start(first)
+        return process
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending one-shot event."""
+        self.queue.cancel(event)
+
+    # ------------------------------------------------------------------ #
+    # the event loop
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue is
+        empty.  A :exc:`StopSimulation` raised by the callback is propagated
+        after recording its reason.
+        """
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        try:
+            event.callback()
+        except StopSimulation as stop:
+            self.stop_reason = stop.reason or "stopped"
+            raise
+        finally:
+            self._processed += 1
+        return True
+
+    def run(self, *, max_events: Optional[int] = None) -> None:
+        """Run until the queue is exhausted (or ``max_events`` is reached)."""
+        self._run(until=None, max_events=max_events)
+
+    def run_until(self, until: float, *, max_events: Optional[int] = None) -> None:
+        """Run until simulation time ``until`` (inclusive) or the queue empties."""
+        self._run(until=until, max_events=max_events)
+
+    def _run(self, *, until: Optional[float], max_events: Optional[int]) -> None:
+        self._running = True
+        self.stop_reason = None
+        executed = 0
+        try:
+            while True:
+                nxt = self.queue.peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.time > until:
+                    # Advance the clock to the horizon so callers observe it.
+                    self.clock.advance_to(until)
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                try:
+                    self.step()
+                except StopSimulation:
+                    break
+                executed += 1
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationEngine(now={self.clock.now!r}, pending={len(self.queue)}, "
+            f"processed={self._processed})"
+        )

@@ -1,0 +1,112 @@
+"""Events and the time-ordered event queue.
+
+Events are lightweight records ``(time, priority, sequence, callback)``
+kept in a binary heap.  Ties on time are broken first by an explicit
+integer priority (lower runs first) and then by insertion order, which
+makes event execution fully deterministic for a given seed -- a property
+the reproduction relies on so that every figure can be regenerated
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the callback fires.
+    priority:
+        Tie-breaker for events sharing a timestamp; lower values run first.
+    sequence:
+        Monotone insertion counter; the final tie-breaker.
+    callback:
+        Zero-argument callable executed when the event fires.
+    label:
+        Optional human-readable label (used in error messages and traces).
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False, hash=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    The queue supports lazy cancellation: :meth:`cancel` marks an event and
+    :meth:`pop` silently discards cancelled entries.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(
+        self,
+        time: float,
+        callback: EventCallback,
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at simulation time ``time`` and return the event."""
+        event = Event(
+            time=float(time),
+            priority=int(priority),
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (no-op if already executed)."""
+        self._cancelled.add(event.sequence)
+
+    def is_cancelled(self, event: Event) -> bool:
+        return event.sequence in self._cancelled
+
+    def peek(self) -> Optional[Event]:
+        """Return the next runnable event without removing it, or ``None``."""
+        while self._heap and self._heap[0].sequence in self._cancelled:
+            dropped = heapq.heappop(self._heap)
+            self._cancelled.discard(dropped.sequence)
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next runnable event, or ``None`` when empty."""
+        nxt = self.peek()
+        if nxt is None:
+            return None
+        return heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._cancelled.clear()
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate over pending (non-cancelled) events in heap order (unsorted)."""
+        return (e for e in self._heap if e.sequence not in self._cancelled)

@@ -1,0 +1,73 @@
+"""Pull-based gossip streaming substrate.
+
+This subpackage implements the CoolStreaming-style mesh/pull streaming
+system the paper evaluates on, with the configuration of Section 5.1:
+
+* streaming rate 300 kbit/s split into 30 kbit segments, i.e. a playback
+  rate of ``p = 10`` segments/second,
+* a FIFO buffer of ``B = 600`` segments per node,
+* node inbound rates of 10--33 segments/second averaging 15 (300 kbit/s --
+  1 Mbit/s averaging 450 kbit/s); outbound rates alike; sources have zero
+  inbound and a much larger outbound rate,
+* a data scheduling period of ``tau = 1`` second in which every node
+  exchanges buffer maps with its ``M = 5`` neighbours (620 bits per
+  neighbour) and then requests segments,
+* playback of the old source (re)starts after ``Q = 10`` consecutive
+  segments; playback of the new source needs its first ``Qs = 50``
+  segments.
+
+Modules
+-------
+:mod:`repro.streaming.segment`
+    Stream descriptors and segment-id arithmetic.
+:mod:`repro.streaming.buffer`
+    The per-node FIFO segment buffer (eviction order, tail positions).
+:mod:`repro.streaming.buffermap`
+    Buffer-map snapshots and their wire-size accounting.
+:mod:`repro.streaming.bandwidth`
+    Bandwidth sampling and the per-period outbound capacity ledger.
+:mod:`repro.streaming.protocol`
+    Message records exchanged between peers (sizes used by the
+    communication-overhead metric).
+:mod:`repro.streaming.playback`
+    Per-stream playback state machines.
+:mod:`repro.streaming.source`
+    Source node behaviour (segment generation, end-of-stream marker).
+:mod:`repro.streaming.peer`
+    Peer behaviour: view construction, request execution, playback.
+:mod:`repro.streaming.session`
+    The two-source switch session driving a whole simulation run.
+"""
+
+from repro.streaming.bandwidth import BandwidthProfile, OutboundLedger, sample_rates
+from repro.streaming.buffer import SegmentBuffer
+from repro.streaming.buffermap import BufferMapSnapshot, buffer_map_bits
+from repro.streaming.peer import PeerNode
+from repro.streaming.playback import PlaybackState
+from repro.streaming.protocol import (
+    BufferMapExchange,
+    SegmentDelivery,
+    SegmentRequestMessage,
+)
+from repro.streaming.segment import StreamSpec, SwitchPlan
+from repro.streaming.session import SessionResult, SwitchSession
+from repro.streaming.source import SourceNode
+
+__all__ = [
+    "StreamSpec",
+    "SwitchPlan",
+    "SegmentBuffer",
+    "BufferMapSnapshot",
+    "buffer_map_bits",
+    "BandwidthProfile",
+    "OutboundLedger",
+    "sample_rates",
+    "BufferMapExchange",
+    "SegmentRequestMessage",
+    "SegmentDelivery",
+    "PlaybackState",
+    "SourceNode",
+    "PeerNode",
+    "SwitchSession",
+    "SessionResult",
+]

@@ -1,0 +1,165 @@
+"""The per-node FIFO segment buffer.
+
+Every node keeps a buffer of up to ``B`` segments (the paper uses
+``B = 600``).  The replacement strategy is FIFO: when a new segment is
+inserted into a full buffer, the oldest inserted segment is evicted.  The
+buffer exposes the *position from the tail* of each segment -- the quantity
+``p_ij`` that the rarity term (Eq. 8) consumes: position 1 is the most
+recently inserted segment, position ``len(buffer)`` is the next to be
+evicted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["SegmentBuffer"]
+
+
+class SegmentBuffer:
+    """A FIFO set of segment ids with bounded capacity.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of segments held (``B``).  ``None`` means unbounded
+        (used by source nodes, which never evict their own stream).
+    """
+
+    def __init__(self, capacity: Optional[int] = 600) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._capacity = capacity
+        self._order: deque[int] = deque()
+        self._insert_index: Dict[int, int] = {}
+        self._counter = 0
+        self._discards = 0
+        self.evicted_total = 0
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, seg_id: int) -> Optional[int]:
+        """Insert ``seg_id``; return the evicted id (if any).
+
+        Re-inserting an id that is already present is a no-op (and returns
+        ``None``): duplicate deliveries do not change eviction order.
+        """
+        if seg_id in self._insert_index:
+            return None
+        self._order.append(seg_id)
+        self._insert_index[seg_id] = self._counter
+        self._counter += 1
+        evicted: Optional[int] = None
+        if self._capacity is not None and len(self._order) > self._capacity:
+            evicted = self._order.popleft()
+            del self._insert_index[evicted]
+            self.evicted_total += 1
+        return evicted
+
+    def insert_many(self, seg_ids: Iterable[int]) -> List[int]:
+        """Insert several ids (in iteration order); return all evicted ids."""
+        evicted: List[int] = []
+        for seg_id in seg_ids:
+            out = self.insert(seg_id)
+            if out is not None:
+                evicted.append(out)
+        return evicted
+
+    def discard(self, seg_id: int) -> bool:
+        """Remove ``seg_id`` if present (returns whether it was present).
+
+        Not part of the paper's protocol (FIFO eviction is the only removal
+        path there) but useful for tests and for modelling corrupted
+        segments in failure-injection scenarios.
+        """
+        if seg_id not in self._insert_index:
+            return False
+        del self._insert_index[seg_id]
+        self._order.remove(seg_id)
+        self._discards += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> Optional[int]:
+        """Configured capacity ``B`` (``None`` = unbounded)."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, seg_id: int) -> bool:
+        return seg_id in self._insert_index
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate ids from oldest to newest insertion."""
+        return iter(self._order)
+
+    def contains(self, seg_id: int) -> bool:
+        """Membership test (alias of ``in`` for readability at call sites)."""
+        return seg_id in self._insert_index
+
+    def contains_all(self, seg_ids: Iterable[int]) -> bool:
+        """Whether every id in ``seg_ids`` is present."""
+        return all(seg_id in self._insert_index for seg_id in seg_ids)
+
+    def newest(self) -> Optional[int]:
+        """The most recently inserted id, or ``None`` when empty."""
+        return self._order[-1] if self._order else None
+
+    def oldest(self) -> Optional[int]:
+        """The id that would be evicted next, or ``None`` when empty."""
+        return self._order[0] if self._order else None
+
+    def position_from_tail(self, seg_id: int) -> int:
+        """FIFO position of ``seg_id`` counted from the insertion end.
+
+        1 = newest insertion; ``len(self)`` = oldest (next to be evicted).
+        Raises ``KeyError`` for absent ids.
+        """
+        if seg_id not in self._insert_index:
+            raise KeyError(seg_id)
+        if self._discards == 0:
+            # Pure FIFO: if ``seg_id`` is present, every later insertion is
+            # present too (evictions happen strictly in insertion order), so
+            # the insertion-counter difference equals the in-buffer position.
+            newest_index = self._counter - 1
+            return int(newest_index - self._insert_index[seg_id]) + 1
+        # After an out-of-order ``discard`` the counter shortcut over-counts;
+        # fall back to counting the segments currently newer than ``seg_id``.
+        own_index = self._insert_index[seg_id]
+        newer = sum(1 for idx in self._insert_index.values() if idx > own_index)
+        return newer + 1
+
+    def ids_in_range(self, lo: int, hi: int) -> List[int]:
+        """Sorted list of held ids in the inclusive range ``[lo, hi]``.
+
+        Iterates over the range or the buffer, whichever is smaller, so both
+        narrow windows over a large buffer and wide windows over a small
+        buffer stay cheap.
+        """
+        if hi < lo:
+            return []
+        if (hi - lo + 1) <= len(self._order):
+            return [i for i in range(lo, hi + 1) if i in self._insert_index]
+        return sorted(i for i in self._insert_index if lo <= i <= hi)
+
+    def missing_in_range(self, lo: int, hi: int) -> List[int]:
+        """Sorted list of ids in ``[lo, hi]`` **not** held."""
+        if hi < lo:
+            return []
+        return [i for i in range(lo, hi + 1) if i not in self._insert_index]
+
+    def as_set(self) -> frozenset[int]:
+        """Frozen snapshot of all held ids."""
+        return frozenset(self._insert_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SegmentBuffer(size={len(self)}, capacity={self._capacity}, "
+            f"newest={self.newest()}, oldest={self.oldest()})"
+        )

@@ -1,0 +1,651 @@
+"""The two-source switch session: one full simulation run.
+
+:class:`SwitchSession` assembles the whole system -- overlay, sources,
+peers, bandwidth, churn, metrics -- and drives it round by round through the
+discrete-event engine:
+
+1. **Setup** (time 0): build the overlay from a (synthetic) trace, augment
+   it to the minimum degree ``M``, pick the two source nodes, assign
+   bandwidth, create the peers and seed them into the steady state of the
+   old stream (analytic warm-up) or run a simulated warm-up.
+2. **Rounds** (every ``tau`` seconds): the new source generates segments;
+   churn is applied (dynamic scenarios); every peer pulls buffer maps from
+   its neighbours (control traffic is charged), runs its switch algorithm
+   and issues requests; transfers are executed against the suppliers'
+   outbound budgets; playback advances; metrics are sampled.
+3. **Stop**: when every tracked peer has completed its source switch or the
+   time horizon is reached.
+
+The session is deterministic for a given :class:`SessionConfig` (seed
+included), and the *same* seed produces the *same* overlay, bandwidth and
+churn schedule for different switch algorithms, so algorithm comparisons
+are paired exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.churn.model import ChurnConfig, ChurnModel
+from repro.core.base import ScheduleDecision, Stream, SwitchAlgorithm
+from repro.core.fast_switch import FastSwitchAlgorithm
+from repro.core.normal_switch import NormalSwitchAlgorithm
+from repro.metrics.collectors import MetricsCollector, SwitchMetrics
+from repro.metrics.overhead import OverheadAccountant
+from repro.overlay.augment import augment_to_min_degree
+from repro.overlay.generator import generate_trace
+from repro.overlay.membership import MembershipService
+from repro.overlay.topology import NodeInfo, Overlay, build_overlay_from_trace
+from repro.sim.engine import SimulationEngine, StopSimulation
+from repro.sim.rng import RandomStreams
+from repro.streaming.bandwidth import BandwidthProfile, OutboundLedger, sample_rates
+from repro.streaming.buffermap import BufferMapSnapshot
+from repro.streaming.peer import PeerNode
+from repro.streaming.protocol import SEGMENT_REQUEST_BITS
+from repro.streaming.segment import DEFAULT_SEGMENT_BITS, StreamSpec, SwitchPlan
+from repro.streaming.source import SourceNode
+
+__all__ = ["SessionConfig", "SessionResult", "SwitchSession", "ALGORITHM_FACTORIES"]
+
+
+#: Registry of algorithm factories by name, used by configs and the CLI.
+ALGORITHM_FACTORIES: Dict[str, Callable[[], SwitchAlgorithm]] = {
+    "fast": FastSwitchAlgorithm,
+    "normal": NormalSwitchAlgorithm,
+}
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Full configuration of one simulation run.
+
+    Defaults follow Section 5.1 of the paper; the network size defaults to a
+    laptop-friendly 200 peers (the experiment sweeps override it).
+
+    Attributes
+    ----------
+    n_nodes:
+        Overlay size (including the two sources).
+    seed:
+        Root random seed (controls overlay, bandwidth, churn, ordering).
+    algorithm:
+        Which switch algorithm to use: a key of :data:`ALGORITHM_FACTORIES`.
+    min_degree:
+        ``M``: minimum number of neighbours per node (paper: 5).
+    play_rate:
+        ``p``: segments played/generated per second (paper: 10).
+    buffer_capacity:
+        ``B``: per-peer FIFO buffer capacity in segments (paper: 600).
+    tau:
+        Data scheduling period in seconds (paper: 1.0).
+    startup_quota_old:
+        ``Q``: consecutive segments to (re)start old-stream playback
+        (paper: 10).
+    startup_quota_new:
+        ``Qs``: startup segments of the new stream (paper: 50).
+    inbound_low / inbound_high / inbound_mean:
+        Parameters of the inbound rate distribution in segments/second
+        (paper: 10--33 averaging 15).
+    outbound_low / outbound_high / outbound_mean:
+        Same for the outbound rates ("alike" in the paper).
+    source_outbound:
+        Outbound rate of each source node (segments/second); the paper only
+        says "much larger" -- the default is 4x the mean peer outbound rate.
+    old_stream_segments:
+        Number of segments the old source produced before the switch
+        (analytic warm-up only; the simulated warm-up derives it from the
+        warm-up duration).
+    warmup:
+        ``"analytic"`` (seed peers from hop distances, default) or
+        ``"simulated"`` (actually stream the old source for
+        ``warmup_duration`` seconds before the switch).
+    warmup_duration:
+        Length of the simulated warm-up in seconds.
+    lag_per_hop:
+        Analytic warm-up: average backlog (segments) added per overlay hop
+        from the old source.  Pull-based meshes of the CoolStreaming family
+        typically run one to a few scheduling periods behind the live edge
+        per overlay hop; the default of 20 segments (2 seconds of content)
+        per hop reproduces the paper's finishing-time magnitudes.
+    lag_jitter:
+        Analytic warm-up: relative jitter applied to the per-peer lag.
+    bandwidth_lag_factor:
+        Analytic warm-up: extra backlog per missing segment/second of
+        inbound rate below the mean (slow peers run further behind).
+    playback_offset:
+        Analytic warm-up: distance (segments) between a peer's newest
+        buffered segment and its playback position at the switch instant.
+    lookahead:
+        How far (segments) beyond the playback position peers advertise
+        interest before they know where the old stream ends.
+    max_time:
+        Simulation horizon in seconds after the switch.
+    churn:
+        Churn configuration (disabled for the static experiments).
+    supplier_rate_estimate:
+        ``"full"`` (default): a neighbour advertises its whole outbound
+        rate as its sending rate ``R(j)``, exactly as Algorithm 1 assumes;
+        actual contention is resolved by the supplier-side outbound ledger.
+        ``"fair_share"``: advertise ``outbound / degree`` instead (a more
+        conservative estimator provided for sensitivity analysis).
+    trace_mean_degree:
+        Mean crawled degree of the synthetic bootstrap trace.
+    record_rounds:
+        Whether to keep the per-round time series (disable for large
+        parameter sweeps to save memory).
+    """
+
+    n_nodes: int = 200
+    seed: int = 0
+    algorithm: str = "fast"
+    min_degree: int = 5
+    play_rate: float = 10.0
+    buffer_capacity: int = 600
+    tau: float = 1.0
+    startup_quota_old: int = 10
+    startup_quota_new: int = 50
+    inbound_low: float = 10.0
+    inbound_high: float = 33.0
+    inbound_mean: float = 15.0
+    outbound_low: float = 10.0
+    outbound_high: float = 33.0
+    outbound_mean: float = 15.0
+    source_outbound: float = 60.0
+    old_stream_segments: int = 900
+    warmup: str = "analytic"
+    warmup_duration: float = 30.0
+    lag_per_hop: float = 20.0
+    lag_jitter: float = 0.35
+    bandwidth_lag_factor: float = 3.0
+    playback_offset: int = 30
+    lookahead: int = 200
+    max_time: float = 150.0
+    churn: ChurnConfig = field(default_factory=ChurnConfig.disabled)
+    supplier_rate_estimate: str = "full"
+    trace_mean_degree: float = 2.0
+    record_rounds: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < self.min_degree + 2:
+            raise ValueError(
+                f"need at least min_degree + 2 = {self.min_degree + 2} nodes, got {self.n_nodes}"
+            )
+        if self.algorithm not in ALGORITHM_FACTORIES:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; known: {sorted(ALGORITHM_FACTORIES)}"
+            )
+        if self.warmup not in ("analytic", "simulated"):
+            raise ValueError(f"warmup must be 'analytic' or 'simulated', got {self.warmup!r}")
+        if self.supplier_rate_estimate not in ("fair_share", "full"):
+            raise ValueError(
+                "supplier_rate_estimate must be 'fair_share' or 'full', "
+                f"got {self.supplier_rate_estimate!r}"
+            )
+        if self.old_stream_segments <= self.startup_quota_old:
+            raise ValueError("old_stream_segments must exceed startup_quota_old")
+        if self.max_time <= 0 or self.tau <= 0:
+            raise ValueError("max_time and tau must be positive")
+
+    def with_algorithm(self, algorithm: str) -> "SessionConfig":
+        """A copy of this config running a different switch algorithm."""
+        return replace(self, algorithm=algorithm)
+
+    def make_algorithm(self) -> SwitchAlgorithm:
+        """Instantiate the configured switch algorithm."""
+        return ALGORITHM_FACTORIES[self.algorithm]()
+
+
+@dataclass
+class SessionResult:
+    """Everything a benchmark or example needs from one run."""
+
+    config: SessionConfig
+    metrics: SwitchMetrics
+    switch_plan: SwitchPlan
+    n_peers: int
+    n_rounds: int
+    average_degree: float
+    overhead_ratio: float
+    overhead_series: List[Tuple[float, float]]
+    wallclock_seconds: float
+    stop_reason: str
+
+    @property
+    def algorithm(self) -> str:
+        """Name of the switch algorithm that produced this result."""
+        return self.metrics.algorithm
+
+
+class SwitchSession:
+    """One end-to-end source-switch simulation (see module docstring)."""
+
+    def __init__(
+        self,
+        config: SessionConfig,
+        *,
+        algorithm_factory: Optional[Callable[[], SwitchAlgorithm]] = None,
+        overlay: Optional[Overlay] = None,
+    ) -> None:
+        self.config = config
+        self._algorithm_factory = algorithm_factory or config.make_algorithm
+        self.streams = RandomStreams(config.seed)
+        self.engine = SimulationEngine(
+            start_time=-config.warmup_duration if config.warmup == "simulated" else 0.0
+        )
+        self.overlay = overlay.copy() if overlay is not None else self._build_overlay()
+        self.peers: Dict[int, PeerNode] = {}
+        self.sources: Dict[int, SourceNode] = {}
+        self._departed: List[PeerNode] = []
+        self._outbound: Dict[int, float] = {}
+        self._inbound: Dict[int, float] = {}
+        self.overhead = OverheadAccountant()
+        self.collector = MetricsCollector(config.startup_quota_new)
+        self.rounds_run = 0
+        self._switch_announced = False
+        self._setup()
+
+    # ================================================================== #
+    # construction
+    # ================================================================== #
+    def _build_overlay(self) -> Overlay:
+        cfg = self.config
+        trace = generate_trace(
+            cfg.n_nodes,
+            seed=cfg.seed,
+            mean_degree=cfg.trace_mean_degree,
+        )
+        overlay = build_overlay_from_trace(trace)
+        augment_to_min_degree(overlay, cfg.min_degree, self.streams.get("augment"))
+        return overlay
+
+    def _setup(self) -> None:
+        cfg = self.config
+        rng = self.streams.get("setup")
+
+        self.old_source_id, self.new_source_id = self._choose_sources(rng)
+        self._assign_bandwidth()
+        self._create_sources()
+        self._create_peers()
+
+        self.membership = MembershipService(
+            self.overlay,
+            cfg.min_degree,
+            self.streams.get("membership"),
+            protected={self.old_source_id, self.new_source_id},
+        )
+        self.churn = ChurnModel(cfg.churn, self.streams.get("churn"))
+        self.ledger = OutboundLedger(self._outbound, cfg.tau)
+
+        if cfg.warmup == "analytic":
+            self._analytic_warmup()
+            self._announce_switch()
+            self._record_initial_backlog()
+        else:
+            self._prepare_simulated_warmup()
+
+        self.collector.sample_round(max(self.engine.now, 0.0), list(self.peers.values()))
+        self.engine.schedule_periodic(
+            cfg.tau,
+            self._round,
+            start=self.engine.now + cfg.tau,
+            label="scheduling-round",
+        )
+
+    def _choose_sources(self, rng: np.random.Generator) -> Tuple[int, int]:
+        """Pick two low-degree nodes as the old and new sources.
+
+        Hubs are avoided so that neither source starts with an unrealistic
+        number of direct neighbours (the paper's sources are ordinary
+        members that happen to speak).
+        """
+        by_degree = sorted(self.overlay.node_ids, key=lambda n: (self.overlay.degree(n), n))
+        candidates = by_degree[: max(10, len(by_degree) // 4)]
+        order = rng.permutation(len(candidates))
+        first = int(candidates[int(order[0])])
+        second = int(candidates[int(order[1])])
+        return first, second
+
+    def _assign_bandwidth(self) -> None:
+        cfg = self.config
+        node_ids = self.overlay.node_ids
+        peer_ids = [n for n in node_ids if n not in (self.old_source_id, self.new_source_id)]
+        inbound = sample_rates(
+            len(peer_ids),
+            self.streams.get("inbound"),
+            low=cfg.inbound_low,
+            high=cfg.inbound_high,
+            mean=cfg.inbound_mean,
+        )
+        outbound = sample_rates(
+            len(peer_ids),
+            self.streams.get("outbound"),
+            low=cfg.outbound_low,
+            high=cfg.outbound_high,
+            mean=cfg.outbound_mean,
+        )
+        for idx, node_id in enumerate(peer_ids):
+            self._inbound[node_id] = float(inbound[idx])
+            self._outbound[node_id] = float(outbound[idx])
+        for source_id in (self.old_source_id, self.new_source_id):
+            self._inbound[source_id] = 0.0
+            self._outbound[source_id] = cfg.source_outbound
+
+    def _create_sources(self) -> None:
+        cfg = self.config
+        warmup_simulated = cfg.warmup == "simulated"
+        old_segments = (
+            int(cfg.warmup_duration * cfg.play_rate)
+            if warmup_simulated
+            else cfg.old_stream_segments
+        )
+        self.switch_plan = SwitchPlan.from_old_stream(
+            old_segments - 1, startup_quota=cfg.startup_quota_new
+        )
+        old_spec = StreamSpec(
+            stream=Stream.OLD,
+            source_id=self.old_source_id,
+            first_id=0,
+            rate=cfg.play_rate,
+        )
+        new_spec = StreamSpec(
+            stream=Stream.NEW,
+            source_id=self.new_source_id,
+            first_id=self.switch_plan.id_begin,
+            rate=cfg.play_rate,
+        )
+        old_source = SourceNode(
+            old_spec,
+            outbound_rate=cfg.source_outbound,
+            start_time=-cfg.warmup_duration if warmup_simulated else -1.0,
+            stop_time=0.0,
+        )
+        if not warmup_simulated:
+            old_source.preload(old_segments)
+        new_source = SourceNode(
+            new_spec,
+            outbound_rate=cfg.source_outbound,
+            start_time=0.0,
+            stop_time=None,
+        )
+        self.sources = {self.old_source_id: old_source, self.new_source_id: new_source}
+
+    def _create_peers(self) -> None:
+        cfg = self.config
+        for node_id in self.overlay.node_ids:
+            if node_id in self.sources:
+                continue
+            profile = BandwidthProfile(
+                inbound=self._inbound[node_id], outbound=self._outbound[node_id]
+            )
+            self.peers[node_id] = PeerNode(
+                node_id,
+                profile,
+                self._algorithm_factory(),
+                buffer_capacity=cfg.buffer_capacity,
+                play_rate=cfg.play_rate,
+                startup_quota_old=cfg.startup_quota_old,
+                startup_quota_new=cfg.startup_quota_new,
+                tau=cfg.tau,
+                lookahead=cfg.lookahead,
+                tracked=True,
+            )
+
+    # ------------------------------------------------------------------ #
+    # warm-up
+    # ------------------------------------------------------------------ #
+    def _analytic_warmup(self) -> None:
+        """Seed every peer into the old stream's steady state from hop distances."""
+        cfg = self.config
+        rng = self.streams.get("warmup")
+        hops = self.overlay.hop_distances_from(self.old_source_id)
+        max_hops = max(hops.values()) if hops else 1
+        id_end = self.switch_plan.id_end
+
+        for node_id, peer in self.peers.items():
+            distance = hops.get(node_id, max_hops + 1)
+            jitter = 1.0 + cfg.lag_jitter * float(rng.uniform(-1.0, 1.0))
+            slow_penalty = max(0.0, cfg.inbound_mean - peer.bandwidth.inbound)
+            lag = cfg.lag_per_hop * distance * jitter + cfg.bandwidth_lag_factor * slow_penalty
+            lag = int(round(min(max(lag, 0.0), cfg.old_stream_segments * 0.5)))
+            head = max(cfg.playback_offset, id_end - lag)
+            position = max(0, head - cfg.playback_offset)
+            peer.seed_steady_state(
+                head_id=head,
+                playback_position=position,
+                first_old_id=0,
+                now=0.0,
+            )
+
+    def _record_initial_backlog(self) -> None:
+        """Record each tracked peer's ``Q0`` at the switch instant."""
+        id_end = self.switch_plan.id_end
+        for peer in self.peers.values():
+            head = peer.highest_known_old if peer.highest_known_old is not None else -1
+            missing_ahead = max(0, id_end - head)
+            holes = len(peer.buffer.missing_in_range(peer.playback_old.position, min(head, id_end))) \
+                if peer.playback_old is not None and head >= 0 else 0
+            peer.q0 = missing_ahead + holes
+
+    def _prepare_simulated_warmup(self) -> None:
+        """Initialise peers for a simulated warm-up starting before time 0."""
+        for peer in self.peers.values():
+            peer.init_fresh_playback(position=0)
+        # The switch is announced (and Q0 recorded) by an event at time 0,
+        # after the last warm-up round has executed.
+        self.engine.schedule(0.0, self._finish_simulated_warmup, priority=10,
+                             label="finish-warmup")
+
+    def _finish_simulated_warmup(self) -> None:
+        self._announce_switch()
+        self._record_initial_backlog()
+
+    def _announce_switch(self) -> None:
+        """Give the new source its announcement (it embeds ``id_end`` in its data)."""
+        self.sources[self.new_source_id].announce_switch(self.switch_plan)
+        self._switch_announced = True
+
+    # ================================================================== #
+    # the scheduling round
+    # ================================================================== #
+    def _round(self, now: float) -> None:
+        cfg = self.config
+        self.rounds_run += 1
+
+        if cfg.churn.enabled and now > 0:
+            self._apply_churn(now)
+
+        for source in self.sources.values():
+            source.generate_until(now)
+
+        self.ledger.reset_period()
+        order = list(self.peers.keys())
+        self.streams.get("round-order").shuffle(order)
+
+        decisions: Dict[int, ScheduleDecision] = {}
+        for node_id in order:
+            peer = self.peers[node_id]
+            snapshots = self._pull_buffer_maps(peer)
+            decisions[node_id] = peer.decide(snapshots, now)
+
+        deliveries: List[Tuple[PeerNode, int]] = []
+        for node_id in order:
+            peer = self.peers[node_id]
+            for request in decisions[node_id].requests:
+                self.overhead.add_request(SEGMENT_REQUEST_BITS)
+                supplier = self._node(request.supplier_id)
+                if supplier is None or not supplier.buffer.contains(request.seg_id):
+                    peer.record_failed_request()
+                    continue
+                if not self.ledger.consume(request.supplier_id):
+                    peer.record_failed_request()
+                    continue
+                deliveries.append((peer, request.seg_id))
+                self.overhead.add_data(DEFAULT_SEGMENT_BITS)
+
+        for peer, seg_id in deliveries:
+            peer.apply_delivery(seg_id, now)
+
+        for node_id in order:
+            self.peers[node_id].advance_playback(now - cfg.tau, cfg.tau)
+
+        self.ledger.end_period()
+        if now >= 0:
+            self.overhead.close_period(now)
+            if cfg.record_rounds:
+                self.collector.sample_round(now, list(self.peers.values()))
+            self._maybe_stop(now)
+
+    def _pull_buffer_maps(self, peer: PeerNode) -> List[BufferMapSnapshot]:
+        """Pull one buffer map per current neighbour (charging control traffic)."""
+        windows = peer.interest_windows()
+        snapshots: List[BufferMapSnapshot] = []
+        for neighbour_id in self.overlay.neighbours(peer.node_id):
+            node = self._node(neighbour_id)
+            if node is None:
+                continue
+            send_rate = self._estimate_send_rate(neighbour_id)
+            snapshot = node.snapshot_for(windows, send_rate=send_rate)
+            self.overhead.add_control(snapshot.wire_bits)
+            snapshots.append(snapshot)
+        return snapshots
+
+    def _estimate_send_rate(self, supplier_id: int) -> float:
+        outbound = self._outbound.get(supplier_id, 0.0)
+        if self.config.supplier_rate_estimate == "full":
+            return outbound
+        degree = max(1, self.overlay.degree(supplier_id))
+        return outbound / degree
+
+    def _node(self, node_id: int):
+        """Look up a peer or source by id (``None`` if it has left)."""
+        if node_id in self.peers:
+            return self.peers[node_id]
+        return self.sources.get(node_id)
+
+    # ------------------------------------------------------------------ #
+    # churn
+    # ------------------------------------------------------------------ #
+    def _apply_churn(self, now: float) -> None:
+        eligible = sorted(self.peers.keys())
+        plan = self.churn.plan_round(eligible)
+        if plan.empty:
+            return
+        affected: List[int] = []
+        for leaver in plan.leavers:
+            if leaver not in self.peers:
+                continue
+            affected.extend(self.membership.leave(leaver))
+            departed = self.peers.pop(leaver)
+            if departed.tracked:
+                self._departed.append(departed)
+            self.ledger.remove_node(leaver)
+            self._outbound.pop(leaver, None)
+            self._inbound.pop(leaver, None)
+        self.membership.repair([n for n in affected if n in self.overlay])
+
+        rng = self.streams.get("join-bandwidth")
+        for _ in range(plan.joins):
+            self._create_joiner(now, rng)
+
+    def _create_joiner(self, now: float, rng: np.random.Generator) -> None:
+        cfg = self.config
+        info = NodeInfo(
+            node_id=self.membership.allocate_node_id(),
+            ping_ms=float(rng.uniform(20.0, 300.0)),
+            speed_kbps=float(rng.choice([128.0, 768.0, 1500.0])),
+        )
+        node_id = self.membership.join(info)
+        inbound = float(
+            sample_rates(1, rng, low=cfg.inbound_low, high=cfg.inbound_high, mean=cfg.inbound_mean)[0]
+        )
+        outbound = float(
+            sample_rates(1, rng, low=cfg.outbound_low, high=cfg.outbound_high, mean=cfg.outbound_mean)[0]
+        )
+        self._inbound[node_id] = inbound
+        self._outbound[node_id] = outbound
+        self.ledger.add_node(node_id, outbound)
+
+        peer = PeerNode(
+            node_id,
+            BandwidthProfile(inbound=inbound, outbound=outbound),
+            self._algorithm_factory(),
+            buffer_capacity=cfg.buffer_capacity,
+            play_rate=cfg.play_rate,
+            startup_quota_old=cfg.startup_quota_old,
+            startup_quota_new=cfg.startup_quota_new,
+            tau=cfg.tau,
+            lookahead=cfg.lookahead,
+            tracked=False,
+        )
+        # A joiner follows its neighbours' current playback point rather than
+        # back-filling history (paper, Section 5.4).
+        position = self._neighbour_playback_position(node_id)
+        peer.init_fresh_playback(position=position)
+        peer.q0 = 0
+        self.peers[node_id] = peer
+
+    def _neighbour_playback_position(self, node_id: int) -> int:
+        positions: List[int] = []
+        for neighbour_id in self.overlay.neighbours(node_id):
+            neighbour = self.peers.get(neighbour_id)
+            if neighbour is not None and neighbour.playback_old is not None:
+                if neighbour.playback_new is not None and neighbour.playback_new.started:
+                    positions.append(neighbour.playback_new.position)
+                else:
+                    positions.append(neighbour.playback_old.position)
+        if not positions:
+            return self.switch_plan.id_end + 1
+        return max(positions)
+
+    # ------------------------------------------------------------------ #
+    # termination and results
+    # ------------------------------------------------------------------ #
+    def _maybe_stop(self, now: float) -> None:
+        tracked_alive = [p for p in self.peers.values() if p.tracked]
+        if not tracked_alive:
+            raise StopSimulation("no tracked peers remain")
+        if all(p.switch_done for p in tracked_alive):
+            raise StopSimulation("all tracked peers switched")
+        if now >= self.config.max_time:
+            raise StopSimulation("time horizon reached")
+
+    def run(self) -> SessionResult:
+        """Run the simulation to completion and return the results."""
+        started = _wallclock.perf_counter()
+        self.engine.run_until(self.config.max_time + self.config.tau)
+        elapsed = _wallclock.perf_counter() - started
+
+        # Peers that left through churn only contribute if they completed
+        # their switch before leaving; peers that departed mid-switch carry
+        # no meaningful completion time (the paper's dynamic scenario lets
+        # joiners simply follow their neighbours, so the switch-time average
+        # is over nodes that actually experienced the whole switch).
+        completed_departed = [p for p in self._departed if p.switch_done]
+        tracked = [p for p in self.peers.values() if p.tracked] + completed_departed
+        metrics = self.collector.finalize(
+            tracked,
+            algorithm=self.config.algorithm,
+            horizon=self.config.max_time,
+            overhead_ratio=self.overhead.overhead_ratio(),
+        )
+        return SessionResult(
+            config=self.config,
+            metrics=metrics,
+            switch_plan=self.switch_plan,
+            n_peers=len(tracked),
+            n_rounds=self.rounds_run,
+            average_degree=self.overlay.average_degree(),
+            overhead_ratio=self.overhead.overhead_ratio(),
+            overhead_series=self.overhead.ratio_series(),
+            wallclock_seconds=elapsed,
+            stop_reason=self.engine.stop_reason or "queue exhausted",
+        )
+
+
+def run_session(config: SessionConfig) -> SessionResult:
+    """Convenience one-liner: build and run a session for ``config``."""
+    return SwitchSession(config).run()

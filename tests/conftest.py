@@ -1,0 +1,43 @@
+"""Shared pytest fixtures.
+
+The simulation-level fixtures use deliberately small overlays so the unit
+and integration test suite stays fast; the benchmark harness (under
+``benchmarks/``) is where realistic sizes live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import make_session_config
+from repro.streaming.session import SessionConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_config() -> SessionConfig:
+    """A very small but complete session configuration (fast to run)."""
+    return make_session_config(
+        40,
+        seed=7,
+        max_time=80.0,
+        old_stream_segments=400,
+        lookahead=120,
+    )
+
+
+@pytest.fixture
+def small_config() -> SessionConfig:
+    """A slightly larger configuration used by the integration tests."""
+    return make_session_config(
+        80,
+        seed=3,
+        max_time=100.0,
+        old_stream_segments=600,
+    )

@@ -1,0 +1,65 @@
+"""Tests for summary statistics and paired comparisons."""
+
+import pytest
+
+from repro.analysis.stats import paired_comparison, summarize
+
+
+def test_summarize_basic_statistics():
+    stats = summarize([10.0, 12.0, 14.0])
+    assert stats.n == 3
+    assert stats.mean == pytest.approx(12.0)
+    assert stats.minimum == 10.0 and stats.maximum == 14.0
+    assert stats.std == pytest.approx(2.0)
+    assert stats.ci_half_width > 0
+    assert stats.ci_low < stats.mean < stats.ci_high
+    assert "±" in stats.format("s")
+
+
+def test_summarize_single_value_has_zero_spread():
+    stats = summarize([5.0])
+    assert stats.std == 0.0
+    assert stats.ci_half_width == 0.0
+    assert stats.ci_low == stats.ci_high == 5.0
+
+
+def test_summarize_validation():
+    with pytest.raises(ValueError):
+        summarize([])
+    with pytest.raises(ValueError):
+        summarize([1.0, 2.0], confidence=0.33)
+
+
+def test_higher_confidence_widens_interval():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    narrow = summarize(values, confidence=0.80)
+    wide = summarize(values, confidence=0.99)
+    assert wide.ci_half_width > narrow.ci_half_width
+
+
+def test_paired_comparison_reduction_and_sign_counts():
+    baseline = [20.0, 22.0, 18.0, 21.0]
+    treatment = [16.0, 17.0, 19.0, 21.0]
+    comparison = paired_comparison(baseline, treatment)
+    assert comparison.n == 4
+    assert comparison.wins == 2
+    assert comparison.losses == 1
+    assert comparison.ties == 1
+    assert comparison.win_rate == pytest.approx((2 + 0.5) / 4)
+    expected_reduction = sum((b - t) / b for b, t in zip(baseline, treatment)) / 4
+    assert comparison.mean_reduction == pytest.approx(expected_reduction)
+    assert comparison.baseline.mean == pytest.approx(20.25)
+    assert comparison.treatment.mean == pytest.approx(18.25)
+
+
+def test_paired_comparison_validation():
+    with pytest.raises(ValueError):
+        paired_comparison([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        paired_comparison([], [])
+
+
+def test_paired_comparison_handles_zero_baseline():
+    comparison = paired_comparison([0.0, 10.0], [0.0, 5.0])
+    # the zero-baseline pair contributes zero reduction instead of dividing by zero
+    assert comparison.mean_reduction == pytest.approx(0.25)

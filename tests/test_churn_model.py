@@ -1,0 +1,77 @@
+"""Tests for the churn policy."""
+
+import numpy as np
+import pytest
+
+from repro.churn.model import ChurnConfig, ChurnModel, ChurnPlan
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ChurnConfig(leave_fraction=-0.1)
+    with pytest.raises(ValueError):
+        ChurnConfig(join_fraction=1.5)
+    assert ChurnConfig.paper_dynamic().leave_fraction == 0.05
+    disabled = ChurnConfig.disabled()
+    assert not disabled.enabled
+
+
+def test_disabled_model_produces_empty_plans():
+    model = ChurnModel(ChurnConfig.disabled(), np.random.default_rng(0))
+    plan = model.plan_round(list(range(100)))
+    assert plan.empty
+    assert model.total_leaves == 0 and model.total_joins == 0
+
+
+def test_plan_counts_follow_fractions():
+    model = ChurnModel(ChurnConfig(leave_fraction=0.1, join_fraction=0.2),
+                       np.random.default_rng(1))
+    plan = model.plan_round(list(range(100)))
+    assert len(plan.leavers) == 10
+    assert plan.joins == 20
+    assert set(plan.leavers) <= set(range(100))
+    assert model.total_leaves == 10 and model.total_joins == 20
+
+
+def test_paper_dynamic_five_percent_per_period():
+    model = ChurnModel(ChurnConfig.paper_dynamic(), np.random.default_rng(2))
+    plan = model.plan_round(list(range(1000)))
+    assert len(plan.leavers) == 50
+    assert plan.joins == 50
+
+
+def test_leavers_are_unique_and_sorted():
+    model = ChurnModel(ChurnConfig(leave_fraction=0.5, join_fraction=0.0),
+                       np.random.default_rng(3))
+    plan = model.plan_round(list(range(40)))
+    assert len(plan.leavers) == len(set(plan.leavers)) == 20
+    assert list(plan.leavers) == sorted(plan.leavers)
+
+
+def test_empty_population_produces_empty_plan():
+    model = ChurnModel(ChurnConfig.paper_dynamic(), np.random.default_rng(4))
+    assert model.plan_round([]).empty
+
+
+def test_small_population_rounds_churn_counts():
+    model = ChurnModel(ChurnConfig(leave_fraction=0.05, join_fraction=0.05),
+                       np.random.default_rng(5))
+    # 10 peers at 5%: rounds to one every other period on average; rounding
+    # of 0.5 gives 0 (banker's rounding at exactly .5 for round()),
+    # with 30 peers it must be at least 1.
+    plan = model.plan_round(list(range(30)))
+    assert len(plan.leavers) >= 1
+    assert plan.joins >= 1
+
+
+def test_cannot_remove_more_than_population():
+    model = ChurnModel(ChurnConfig(leave_fraction=1.0, join_fraction=0.0),
+                       np.random.default_rng(6))
+    plan = model.plan_round(list(range(7)))
+    assert len(plan.leavers) == 7
+
+
+def test_plan_dataclass_defaults():
+    assert ChurnPlan().empty
+    assert not ChurnPlan(leavers=(1,), joins=0).empty
+    assert not ChurnPlan(leavers=(), joins=2).empty

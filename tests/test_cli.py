@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.overlay.trace import parse_trace
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["figure", "2"])
+    assert args.command == "figure" and args.number == "2"
+    args = parser.parse_args(["run", "--algorithm", "normal", "--n-nodes", "50"])
+    assert args.algorithm == "normal" and args.n_nodes == 50
+    args = parser.parse_args(["compare", "--dynamic"])
+    assert args.dynamic is True
+    args = parser.parse_args(["scenario", "video-conference"])
+    assert args.name == "video-conference"
+    args = parser.parse_args(["trace", "out.trace", "--n-nodes", "77"])
+    assert args.path == "out.trace" and args.n_nodes == 77
+
+
+def test_figure2_command_prints_table(capsys):
+    assert main(["figure", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "normal" in out and "fast" in out
+
+
+def test_figure2_command_json_output(capsys):
+    assert main(["figure", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["figure"] == "2"
+    assert len(payload["rows"]) == 2
+
+
+def test_run_command_small_simulation(capsys):
+    code = main(["run", "--n-nodes", "36", "--seed", "2", "--max-time", "70", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["algorithm"] == "fast"
+    assert payload["tracked peers"] == 34
+    assert payload["avg switch time (s)"] > 0
+
+
+def test_compare_command_reports_reduction(capsys):
+    code = main(["compare", "--n-nodes", "36", "--seed", "2", "--max-time", "70", "--json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "switch_time_reduction" in payload
+    assert payload["n_peers"] == 34
+
+
+def test_trace_command_writes_parseable_file(tmp_path, capsys):
+    target = tmp_path / "synthetic.trace"
+    assert main(["trace", str(target), "--n-nodes", "60", "--seed", "3"]) == 0
+    assert "wrote 60 records" in capsys.readouterr().out
+    records = parse_trace(target)
+    assert len(records) == 60
+
+
+def test_unknown_figure_number_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "99"])

@@ -1,0 +1,75 @@
+"""Tests for the four-case rate allocation (Section 4)."""
+
+import pytest
+
+from repro.core.allocation import AllocationCase, allocate_for_model, allocate_rates
+from repro.core.model import optimal_split
+
+
+def _split(inbound=15.0, q1=50.0, q2=50.0, q=10.0, p=10.0):
+    return optimal_split(inbound, q1, q2, q, p)
+
+
+def test_case1_optimum_feasible_uses_r1_r2():
+    split = _split()
+    allocation = allocate_rates(split, 15.0, o1=100.0, o2=100.0)
+    assert allocation.case is AllocationCase.OPTIMUM_FEASIBLE
+    assert allocation.i1 == pytest.approx(split.r1)
+    assert allocation.i2 == pytest.approx(split.r2)
+
+
+def test_case2_new_stream_limited():
+    split = _split()
+    o2 = split.r2 / 2.0
+    allocation = allocate_rates(split, 15.0, o1=100.0, o2=o2)
+    assert allocation.case is AllocationCase.NEW_LIMITED
+    assert allocation.i2 == pytest.approx(o2)
+    assert allocation.i1 == pytest.approx(min(100.0, 15.0 - o2))
+
+
+def test_case3_old_stream_limited():
+    split = _split()
+    o1 = split.r1 / 2.0
+    allocation = allocate_rates(split, 15.0, o1=o1, o2=100.0)
+    assert allocation.case is AllocationCase.OLD_LIMITED
+    assert allocation.i1 == pytest.approx(o1)
+    assert allocation.i2 == pytest.approx(min(100.0, 15.0 - o1))
+
+
+def test_case4_both_limited():
+    split = _split()
+    allocation = allocate_rates(split, 15.0, o1=split.r1 / 3.0, o2=split.r2 / 3.0)
+    assert allocation.case is AllocationCase.BOTH_LIMITED
+    assert allocation.i1 == pytest.approx(split.r1 / 3.0)
+    assert allocation.i2 == pytest.approx(split.r2 / 3.0)
+
+
+def test_allocation_never_exceeds_inbound_even_with_huge_o2():
+    split = _split()
+    allocation = allocate_rates(split, 15.0, o1=0.5, o2=40.0)
+    assert allocation.total <= 15.0 + 1e-9
+    assert allocation.i1 >= 0.0 and allocation.i2 >= 0.0
+
+
+def test_zero_outbound_towards_new_source_gives_it_nothing():
+    split = _split()
+    allocation = allocate_rates(split, 15.0, o1=20.0, o2=0.0)
+    assert allocation.i2 == 0.0
+    assert allocation.i1 <= 15.0
+
+
+def test_negative_inputs_rejected():
+    split = _split()
+    with pytest.raises(ValueError):
+        allocate_rates(split, -1.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        allocate_rates(split, 1.0, -1.0, 1.0)
+    with pytest.raises(ValueError):
+        allocate_rates(split, 1.0, 1.0, -1.0)
+
+
+def test_allocate_for_model_convenience_wrapper():
+    allocation = allocate_for_model(15.0, 50.0, 50.0, 10.0, 10.0, o1=100.0, o2=100.0)
+    assert allocation.case is AllocationCase.OPTIMUM_FEASIBLE
+    assert allocation.split.r1 == pytest.approx(optimal_split(15.0, 50.0, 50.0, 10.0, 10.0).r1)
+    assert allocation.total == pytest.approx(15.0)

@@ -1,0 +1,57 @@
+"""Property-based tests for the four-case allocation (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationCase, allocate_for_model
+
+rates = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+positive_rates = st.floats(min_value=0.5, max_value=100.0, allow_nan=False)
+counts = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+@settings(max_examples=400, deadline=None)
+@given(inbound=positive_rates, q1=counts, q2=counts, q=counts, p=positive_rates,
+       o1=rates, o2=rates)
+def test_allocation_respects_all_capacity_constraints(inbound, q1, q2, q, p, o1, o2):
+    allocation = allocate_for_model(inbound, q1, q2, q, p, o1, o2)
+    assert allocation.i1 >= -1e-9
+    assert allocation.i2 >= -1e-9
+    assert allocation.i1 <= o1 + 1e-9
+    assert allocation.i2 <= o2 + 1e-9
+    assert allocation.total <= inbound + 1e-9
+    assert isinstance(allocation.case, AllocationCase)
+
+
+@settings(max_examples=400, deadline=None)
+@given(inbound=positive_rates, q1=counts, q2=counts, q=counts, p=positive_rates)
+def test_allocation_reduces_to_optimum_when_unconstrained(inbound, q1, q2, q, p):
+    allocation = allocate_for_model(inbound, q1, q2, q, p, o1=1e6, o2=1e6)
+    assert allocation.case is AllocationCase.OPTIMUM_FEASIBLE
+    assert abs(allocation.i1 - allocation.split.r1) < 1e-6
+    assert abs(allocation.i2 - allocation.split.r2) < 1e-6
+
+
+@settings(max_examples=400, deadline=None)
+@given(inbound=positive_rates, q1=counts, q2=counts, q=counts, p=positive_rates,
+       o1=rates, o2=rates)
+def test_case_classification_consistent_with_inputs(inbound, q1, q2, q, p, o1, o2):
+    allocation = allocate_for_model(inbound, q1, q2, q, p, o1, o2)
+    r1, r2 = allocation.split.r1, allocation.split.r2
+    if allocation.case is AllocationCase.OPTIMUM_FEASIBLE:
+        assert r1 <= o1 and r2 <= o2
+    elif allocation.case is AllocationCase.NEW_LIMITED:
+        assert r1 <= o1 and r2 > o2
+    elif allocation.case is AllocationCase.OLD_LIMITED:
+        assert r1 > o1 and r2 <= o2
+    else:
+        assert r1 > o1 and r2 > o2
+
+
+@settings(max_examples=300, deadline=None)
+@given(inbound=positive_rates, q1=counts, q2=counts, q=counts, p=positive_rates,
+       o1=rates, o2=rates, boost=st.floats(min_value=1.0, max_value=5.0))
+def test_more_new_stream_supply_never_reduces_its_allocation(inbound, q1, q2, q, p, o1, o2, boost):
+    base = allocate_for_model(inbound, q1, q2, q, p, o1, o2)
+    boosted = allocate_for_model(inbound, q1, q2, q, p, o1, o2 * boost)
+    assert boosted.i2 >= base.i2 - 1e-6

@@ -1,0 +1,100 @@
+"""Tests for the closed-form optimisation model (Section 3)."""
+
+import math
+
+import pytest
+
+from repro.core.model import (
+    finish_time_old,
+    optimal_split,
+    prepare_time_new,
+    quadratic_roots,
+    switch_time_lower_bound,
+)
+
+
+def test_quadratic_roots_match_paper_equation():
+    # Hand-checked example: I=15, Q1=50, Q2=50, Q=10, p=10
+    r1, r1_neg = quadratic_roots(15.0, 50.0, 50.0, 10.0, 10.0)
+    a = 10.0 * (50.0 + 50.0) / 10.0  # = 100
+    disc = (a - 15.0) ** 2 + 4 * 10.0 * 15.0 * 50.0 / 10.0
+    expected = (15.0 - a + math.sqrt(disc)) / 2.0
+    assert r1 == pytest.approx(expected)
+    assert r1_neg < 0.0  # the paper discards the negative root
+
+
+def test_quadratic_requires_positive_q_and_p():
+    with pytest.raises(ValueError):
+        quadratic_roots(15.0, 50.0, 50.0, 0.0, 10.0)
+    with pytest.raises(ValueError):
+        quadratic_roots(15.0, 50.0, 50.0, 10.0, 0.0)
+
+
+def test_optimal_split_balances_finish_and_prepare_times():
+    split = optimal_split(15.0, q1=50.0, q2=50.0, q=10.0, p=10.0)
+    # At the optimum the constraint T2 >= T1' is tight: both sides equal.
+    assert split.t2 == pytest.approx(split.t1_prime, rel=1e-9)
+    assert split.r1 + split.r2 == pytest.approx(15.0)
+    assert 0.0 < split.r1 < 15.0
+
+
+def test_optimal_split_with_no_new_work_gives_everything_to_old():
+    split = optimal_split(15.0, q1=30.0, q2=0.0, q=10.0, p=10.0)
+    assert split.r1 == pytest.approx(15.0)
+    assert split.r2 == pytest.approx(0.0)
+    assert split.t2 == 0.0
+
+
+def test_optimal_split_with_no_old_work_respects_playback_tail():
+    split = optimal_split(15.0, q1=0.0, q2=50.0, q=10.0, p=10.0)
+    # only the residual playback window Q/p = 1 s constrains T2
+    assert split.t2 >= 1.0 - 1e-9
+    assert split.r2 <= 50.0 / 1.0
+    assert split.r1 + split.r2 == pytest.approx(15.0)
+
+
+def test_optimal_split_q_zero_falls_back_to_proportional_split():
+    split = optimal_split(12.0, q1=30.0, q2=60.0, q=0.0, p=10.0)
+    assert split.r1 == pytest.approx(12.0 * 30.0 / 90.0)
+    assert split.r2 == pytest.approx(12.0 * 60.0 / 90.0)
+
+
+def test_optimal_split_zero_inbound_gives_infinite_times():
+    split = optimal_split(0.0, q1=10.0, q2=10.0, q=10.0, p=10.0)
+    assert split.r1 == 0.0 and split.r2 == 0.0
+    assert math.isinf(split.t2)
+
+
+def test_invalid_arguments_rejected():
+    with pytest.raises(ValueError):
+        optimal_split(-1.0, 10.0, 10.0, 10.0, 10.0)
+    with pytest.raises(ValueError):
+        optimal_split(10.0, -1.0, 10.0, 10.0, 10.0)
+    with pytest.raises(ValueError):
+        optimal_split(10.0, 10.0, 10.0, 10.0, 0.0)
+
+
+def test_lower_bound_matches_split_t2():
+    bound = switch_time_lower_bound(15.0, 40.0, 50.0, 10.0, 10.0)
+    split = optimal_split(15.0, 40.0, 50.0, 10.0, 10.0)
+    assert bound == pytest.approx(split.t2)
+
+
+def test_helper_time_formulas():
+    assert finish_time_old(q1=30.0, q=10.0, p=10.0, i1=10.0) == pytest.approx(4.0)
+    assert prepare_time_new(q2=50.0, i2=10.0) == pytest.approx(5.0)
+    assert math.isinf(prepare_time_new(q2=50.0, i2=0.0))
+    assert finish_time_old(q1=0.0, q=0.0, p=10.0, i1=0.0) == 0.0
+
+
+def test_optimum_beats_any_other_static_split():
+    """The closed form minimises T2 over all feasible static splits."""
+    inbound, q1, q2, q, p = 18.0, 70.0, 50.0, 10.0, 10.0
+    best = optimal_split(inbound, q1, q2, q, p)
+    for i1_tenths in range(1, int(inbound * 10)):
+        i1 = i1_tenths / 10.0
+        i2 = inbound - i1
+        t1_prime = q1 / i1 + q / p
+        t2 = q2 / i2
+        if t2 + 1e-9 >= t1_prime:  # feasible static split
+            assert best.t2 <= t2 + 1e-6

@@ -1,0 +1,66 @@
+"""Property-based tests for the optimisation model (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import optimal_split, quadratic_roots
+
+rates = st.floats(min_value=0.5, max_value=200.0, allow_nan=False)
+counts = st.floats(min_value=0.0, max_value=5000.0, allow_nan=False)
+positive_counts = st.floats(min_value=0.5, max_value=5000.0, allow_nan=False)
+
+
+@settings(max_examples=300, deadline=None)
+@given(inbound=rates, q1=counts, q2=counts, q=counts, p=rates)
+def test_split_is_feasible_and_conserves_rate(inbound, q1, q2, q, p):
+    split = optimal_split(inbound, q1, q2, q, p)
+    assert -1e-9 <= split.r1 <= inbound + 1e-9
+    assert -1e-9 <= split.r2 <= inbound + 1e-9
+    assert math.isclose(split.r1 + split.r2, inbound, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=300, deadline=None)
+@given(inbound=rates, q1=positive_counts, q2=positive_counts, q=positive_counts, p=rates)
+def test_constraint_t2_not_smaller_than_t1_prime(inbound, q1, q2, q, p):
+    """The optimal split never violates the precedence constraint."""
+    split = optimal_split(inbound, q1, q2, q, p)
+    if math.isinf(split.t2) or math.isinf(split.t1_prime):
+        return
+    tolerance = 1e-6 + 1e-7 * abs(split.t1_prime)
+    assert split.t2 >= split.t1_prime - tolerance
+
+
+@settings(max_examples=300, deadline=None)
+@given(inbound=rates, q1=positive_counts, q2=positive_counts, q=positive_counts, p=rates)
+def test_positive_root_is_nonnegative_and_other_root_nonpositive(inbound, q1, q2, q, p):
+    r1, r1_neg = quadratic_roots(inbound, q1, q2, q, p)
+    assert r1 >= -1e-9
+    assert r1_neg <= 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(inbound=rates, q1=positive_counts, q2=positive_counts, q=positive_counts, p=rates,
+       delta=st.floats(min_value=0.01, max_value=0.99))
+def test_no_feasible_split_beats_the_optimum(inbound, q1, q2, q, p, delta):
+    """Any other feasible static split has a larger (or equal) T2."""
+    split = optimal_split(inbound, q1, q2, q, p)
+    alt_i1 = delta * inbound
+    alt_i2 = inbound - alt_i1
+    if alt_i1 <= 0 or alt_i2 <= 0:
+        return
+    alt_t1_prime = q1 / alt_i1 + q / p
+    alt_t2 = q2 / alt_i2
+    if alt_t2 >= alt_t1_prime - 1e-12:  # alternative is feasible
+        assert split.t2 <= alt_t2 + 1e-6
+
+
+@settings(max_examples=200, deadline=None)
+@given(inbound=rates, q1=positive_counts, q2=positive_counts, q=positive_counts, p=rates)
+def test_more_inbound_never_hurts(inbound, q1, q2, q, p):
+    base = optimal_split(inbound, q1, q2, q, p)
+    boosted = optimal_split(inbound * 1.5, q1, q2, q, p)
+    if math.isinf(base.t2):
+        return
+    assert boosted.t2 <= base.t2 + 1e-6

@@ -1,0 +1,99 @@
+"""Tests for the greedy supplier assignment (Algorithm 1, step 1)."""
+
+import pytest
+
+from repro.core.base import NeighbourView
+from repro.core.scheduler import (
+    CandidateSegment,
+    greedy_supplier_assignment,
+)
+
+
+def _supplier(node_id, send_rate):
+    return NeighbourView(
+        node_id=node_id,
+        send_rate=send_rate,
+        available=frozenset(),
+        positions={},
+        buffer_capacity=600,
+    )
+
+
+def _candidate(seg_id, priority, suppliers):
+    return CandidateSegment(seg_id=seg_id, priority=priority, suppliers=tuple(suppliers))
+
+
+def test_single_supplier_fills_until_period_exhausted():
+    supplier = _supplier(1, send_rate=4.0)  # 0.25 s per segment -> 3 fit strictly below 1 s
+    candidates = [_candidate(i, 1.0 - i * 0.01, [supplier]) for i in range(6)]
+    result = greedy_supplier_assignment(candidates, period=1.0)
+    assert [a.seg_id for a in result.assigned] == [0, 1, 2]
+    assert result.unassigned == [3, 4, 5]
+    assert result.load_of(1) == pytest.approx(0.75)
+
+
+def test_faster_supplier_is_preferred():
+    slow = _supplier(1, send_rate=2.0)
+    fast = _supplier(2, send_rate=10.0)
+    candidates = [_candidate(0, 1.0, [slow, fast])]
+    result = greedy_supplier_assignment(candidates, period=1.0)
+    assert result.assigned[0].supplier_id == 2
+    assert result.assigned[0].expected_receive_time == pytest.approx(0.1)
+
+
+def test_queueing_time_spreads_load_across_suppliers():
+    a = _supplier(1, send_rate=5.0)
+    b = _supplier(2, send_rate=5.0)
+    candidates = [_candidate(i, 1.0, [a, b]) for i in range(4)]
+    result = greedy_supplier_assignment(candidates, period=1.0)
+    used = [item.supplier_id for item in result.assigned]
+    # alternating assignment: two per supplier
+    assert used.count(1) == 2 and used.count(2) == 2
+
+
+def test_priority_order_wins_when_capacity_is_scarce():
+    supplier = _supplier(1, send_rate=1.5)  # only one segment fits below the period
+    candidates = [
+        _candidate(10, 0.9, [supplier]),
+        _candidate(11, 0.5, [supplier]),
+    ]
+    result = greedy_supplier_assignment(candidates, period=1.0)
+    assert [a.seg_id for a in result.assigned] == [10]
+    assert result.unassigned == [11]
+
+
+def test_segment_without_supplier_is_unassigned():
+    candidates = [_candidate(7, 1.0, [])]
+    result = greedy_supplier_assignment(candidates, period=1.0)
+    assert result.assigned == []
+    assert result.unassigned == [7]
+
+
+def test_zero_rate_suppliers_are_ignored():
+    dead = _supplier(1, send_rate=0.0)
+    live = _supplier(2, send_rate=5.0)
+    candidates = [_candidate(0, 1.0, [dead, live])]
+    result = greedy_supplier_assignment(candidates, period=1.0)
+    assert result.assigned[0].supplier_id == 2
+
+
+def test_initial_queue_carries_existing_load():
+    supplier = _supplier(1, send_rate=4.0)
+    candidates = [_candidate(i, 1.0, [supplier]) for i in range(4)]
+    result = greedy_supplier_assignment(candidates, period=1.0, initial_queue={1: 0.6})
+    # 0.6 of the period already used: only 0.85 fits (one more segment)
+    assert len(result.assigned) == 1
+    assert result.supplier_queue[1] == pytest.approx(0.85)
+
+
+def test_invalid_period_rejected():
+    with pytest.raises(ValueError):
+        greedy_supplier_assignment([], period=0.0)
+
+
+def test_assigned_ids_helper():
+    supplier = _supplier(1, send_rate=10.0)
+    candidates = [_candidate(i, 1.0, [supplier]) for i in range(3)]
+    result = greedy_supplier_assignment(candidates, period=1.0)
+    assert result.assigned_ids() == frozenset({0, 1, 2})
+    assert result.load_of(99) == 0.0

@@ -1,0 +1,71 @@
+"""Tests for experiment configuration helpers."""
+
+import pytest
+
+from repro.experiments.config import (
+    BENCH_SWEEP_SIZES,
+    PAPER_SWEEP_SIZES,
+    ExperimentDefaults,
+    make_session_config,
+    paper_scale_enabled,
+    ratio_track_size,
+    sweep_sizes,
+)
+
+
+def test_paper_sweep_sizes_match_the_evaluation_section():
+    assert PAPER_SWEEP_SIZES == (100, 500, 1000, 2000, 4000, 8000)
+    assert all(size < 1000 for size in BENCH_SWEEP_SIZES)
+
+
+def test_defaults_quote_paper_parameters():
+    defaults = ExperimentDefaults()
+    assert defaults.min_degree == 5
+    assert defaults.play_rate == 10.0
+    assert defaults.buffer_capacity == 600
+    assert defaults.startup_quota_old == 10
+    assert defaults.startup_quota_new == 50
+    assert defaults.inbound_mean == 15.0
+    assert defaults.churn_leave_fraction == 0.05
+    kwargs = defaults.session_kwargs()
+    assert kwargs["tau"] == 1.0
+
+
+def test_make_session_config_static_and_dynamic():
+    static = make_session_config(200, seed=3)
+    assert static.n_nodes == 200
+    assert static.seed == 3
+    assert not static.churn.enabled
+    dynamic = make_session_config(200, dynamic=True)
+    assert dynamic.churn.enabled
+    assert dynamic.churn.leave_fraction == 0.05
+
+
+def test_make_session_config_overrides_and_algorithm():
+    config = make_session_config(150, algorithm="normal", max_time=42.0, lookahead=99)
+    assert config.algorithm == "normal"
+    assert config.max_time == 42.0
+    assert config.lookahead == 99
+
+
+def test_custom_defaults_flow_through():
+    defaults = ExperimentDefaults(startup_quota_new=80, extra_session_kwargs={"max_time": 33.0})
+    config = make_session_config(100, defaults=defaults)
+    assert config.startup_quota_new == 80
+    assert config.max_time == 33.0
+
+
+def test_scale_helpers_respect_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+    assert not paper_scale_enabled()
+    assert sweep_sizes() == BENCH_SWEEP_SIZES
+    assert ratio_track_size() < 1000
+
+    monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+    assert paper_scale_enabled()
+    assert sweep_sizes() == PAPER_SWEEP_SIZES
+    assert ratio_track_size() == 1000
+
+    # explicit arguments beat the environment
+    assert sweep_sizes(paper_scale=False) == BENCH_SWEEP_SIZES
+    assert ratio_track_size(paper_scale=False) < 1000

@@ -1,0 +1,76 @@
+"""Tests for the experiment runner and the cached size sweep."""
+
+import pytest
+
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import run_pair, run_single
+from repro.experiments.sweeps import clear_sweep_cache, run_size_sweep
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+def _tiny(n=36, seed=2):
+    return make_session_config(n, seed=seed, max_time=70.0, old_stream_segments=400,
+                               lookahead=120)
+
+
+def test_run_single_returns_result_with_metrics():
+    result = run_single(_tiny().with_algorithm("normal"))
+    assert result.algorithm == "normal"
+    assert result.metrics.n_peers == 34
+    assert result.metrics.avg_prepare_new > 0
+
+
+def test_run_pair_is_paired_on_identical_randomness():
+    pair = run_pair(_tiny())
+    assert pair.normal.config.seed == pair.fast.config.seed
+    assert pair.normal.config.n_nodes == pair.fast.config.n_nodes
+    # same overlay -> same average degree in both runs
+    assert pair.normal.average_degree == pair.fast.average_degree
+    assert pair.n_nodes == 36
+    row = pair.comparison()
+    assert row.label == "36"
+    assert row.n_peers == 34
+    assert isinstance(pair.switch_time_reduction, float)
+
+
+def test_size_sweep_produces_one_point_per_size():
+    sweep = run_size_sweep([30, 40], seed=1, repetitions=1,
+                           overrides={"max_time": 70.0, "old_stream_segments": 400,
+                                      "lookahead": 120})
+    assert [p.n_nodes for p in sweep.points] == [30, 40]
+    rows = sweep.rows()
+    assert len(rows) == 2
+    assert set(rows[0]) >= {"n_nodes", "normal_switch_time", "fast_switch_time", "reduction"}
+    series = sweep.series("reduction")
+    assert [x for x, _ in series] == [30.0, 40.0]
+    assert sweep.point_for(30).n_nodes == 30
+    with pytest.raises(KeyError):
+        sweep.point_for(999)
+
+
+def test_size_sweep_results_are_cached():
+    kwargs = dict(seed=4, repetitions=1,
+                  overrides={"max_time": 70.0, "old_stream_segments": 400, "lookahead": 120})
+    first = run_size_sweep([30], **kwargs)
+    second = run_size_sweep([30], **kwargs)
+    assert first is second  # same object: served from the lru cache
+    third = run_size_sweep([30], seed=5, repetitions=1,
+                           overrides={"max_time": 70.0, "old_stream_segments": 400,
+                                      "lookahead": 120})
+    assert third is not first
+
+
+def test_sweep_point_aggregates_repetitions():
+    sweep = run_size_sweep([30], seed=1, repetitions=2,
+                           overrides={"max_time": 70.0, "old_stream_segments": 400,
+                                      "lookahead": 120})
+    point = sweep.points[0]
+    assert point.repetitions == 2
+    assert point.normal_switch_time > 0
+    assert point.fast_switch_time > 0

@@ -1,0 +1,37 @@
+"""Tests for the named example scenarios."""
+
+import pytest
+
+from repro.experiments.scenarios import SCENARIOS, scenario_config
+
+
+def test_three_scenarios_are_defined():
+    assert {"video-conference", "distance-education", "flash-crowd"} <= set(SCENARIOS)
+    for scenario in SCENARIOS.values():
+        assert scenario.description
+        assert scenario.n_nodes >= 100
+
+
+def test_scenario_config_materialises_session_config():
+    config = scenario_config("video-conference", algorithm="normal", seed=9)
+    assert config.n_nodes == SCENARIOS["video-conference"].n_nodes
+    assert config.algorithm == "normal"
+    assert config.seed == 9
+    assert not config.churn.enabled
+
+
+def test_distance_education_is_dynamic():
+    config = scenario_config("distance-education")
+    assert config.churn.enabled
+    assert config.churn.leave_fraction == 0.05
+
+
+def test_flash_crowd_overrides_bandwidth_and_quota():
+    config = scenario_config("flash-crowd")
+    assert config.inbound_mean == 12.0
+    assert config.startup_quota_new == 80
+
+
+def test_unknown_scenario_raises_with_hint():
+    with pytest.raises(KeyError, match="available"):
+        scenario_config("does-not-exist")

@@ -1,0 +1,93 @@
+"""End-to-end assertions of the paper's qualitative claims (small scale).
+
+These tests run paired simulations on small overlays and check the *shape*
+of the paper's headline results rather than absolute numbers:
+
+* the fast switch algorithm never loses (the average switch time is not
+  larger than the normal algorithm's, within a small tolerance),
+* the trade-off structure of Figure 6 holds: the fast algorithm finishes
+  the old stream no earlier than the baseline but prepares the new stream
+  no later,
+* the communication overhead stays small and the fast algorithm does not
+  add overhead,
+* the model's closed-form optimum is a lower bound on what the simulated
+  peers achieve.
+"""
+
+import pytest
+
+from repro.core.model import optimal_split
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import run_pair
+
+
+@pytest.fixture(scope="module")
+def paired_result():
+    """One paired run shared by the assertions in this module."""
+    config = make_session_config(120, seed=3, max_time=120.0)
+    return run_pair(config)
+
+
+def test_everyone_completes_the_switch(paired_result):
+    assert paired_result.normal.metrics.unfinished == 0
+    assert paired_result.fast.metrics.unfinished == 0
+
+
+def test_fast_switch_is_not_slower_than_normal(paired_result):
+    normal = paired_result.normal.metrics.avg_switch_time
+    fast = paired_result.fast.metrics.avg_switch_time
+    assert fast <= normal * 1.02  # allow 2% noise, expect a clear win in practice
+
+
+def test_figure6_bar_ordering(paired_result):
+    """normal finish <= fast finish <= fast prepare <= normal prepare."""
+    n = paired_result.normal.metrics
+    f = paired_result.fast.metrics
+    tolerance = 1.0  # one scheduling period of slack
+    assert n.avg_finish_old <= f.avg_finish_old + tolerance
+    assert f.avg_finish_old <= f.avg_prepare_new + tolerance
+    assert f.avg_prepare_new <= n.avg_prepare_new + tolerance
+
+
+def test_switch_time_respects_both_conditions(paired_result):
+    for result in (paired_result.normal, paired_result.fast):
+        metrics = result.metrics
+        assert metrics.avg_start_time >= metrics.avg_prepare_new - 1e-9
+        assert metrics.avg_start_time >= metrics.avg_finish_old - 1e-9
+        for outcome in metrics.outcomes:
+            assert outcome.switch_complete_time >= outcome.prepared_new_time - 1e-9
+            assert outcome.switch_complete_time >= outcome.finish_old_time - 1e-9
+
+
+def test_communication_overhead_small_and_not_increased_by_fast(paired_result):
+    normal = paired_result.normal.overhead_ratio
+    fast = paired_result.fast.overhead_ratio
+    assert 0.001 < normal < 0.06
+    assert 0.001 < fast < 0.06
+    assert fast <= normal * 1.10  # "without bringing extra communication overhead"
+
+
+def test_model_lower_bound_is_not_violated(paired_result):
+    """No peer switches faster than the closed-form optimum allows."""
+    config = paired_result.fast.config
+    for outcome in paired_result.fast.metrics.outcomes:
+        if outcome.prepared_new_time is None:
+            continue
+        split = optimal_split(
+            inbound=config.inbound_high,  # most generous bound: fastest possible peer
+            q1=0.0,                        # assume no old-stream work at all
+            q2=config.startup_quota_new,
+            q=config.startup_quota_old,
+            p=config.play_rate,
+        )
+        assert outcome.prepared_new_time >= split.t2 - config.tau - 1e-9
+
+
+def test_reduction_ratio_reported_consistently(paired_result):
+    row = paired_result.comparison("integration")
+    expected = 1.0 - (
+        paired_result.fast.metrics.avg_switch_time
+        / paired_result.normal.metrics.avg_switch_time
+    )
+    assert row.switch_time_reduction == pytest.approx(expected)
+    assert row.label == "integration"

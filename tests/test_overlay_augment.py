@@ -1,0 +1,79 @@
+"""Tests for the random-edge augmentation step."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.augment import AugmentationError, augment_to_min_degree
+from repro.overlay.generator import generate_trace
+from repro.overlay.topology import NodeInfo, Overlay, build_overlay_from_trace
+
+
+def _chain(n: int) -> Overlay:
+    overlay = Overlay()
+    for i in range(n):
+        overlay.add_node(NodeInfo(node_id=i))
+    for i in range(n - 1):
+        overlay.add_edge(i, i + 1)
+    return overlay
+
+
+def test_every_node_reaches_min_degree():
+    overlay = _chain(50)
+    rng = np.random.default_rng(0)
+    added = augment_to_min_degree(overlay, 5, rng)
+    assert added > 0
+    assert all(overlay.degree(n) >= 5 for n in overlay.node_ids)
+
+
+def test_existing_edges_are_preserved():
+    overlay = _chain(30)
+    before = set(overlay.edges())
+    augment_to_min_degree(overlay, 4, np.random.default_rng(1))
+    after = set(overlay.edges())
+    assert before <= after
+
+
+def test_paper_setting_on_generated_trace():
+    overlay = build_overlay_from_trace(generate_trace(400, seed=3))
+    augment_to_min_degree(overlay, 5, np.random.default_rng(3))
+    degrees = [overlay.degree(n) for n in overlay.node_ids]
+    assert min(degrees) >= 5
+    # augmentation should not explode the average degree
+    assert overlay.average_degree() < 12.0
+
+
+def test_min_degree_zero_is_noop():
+    overlay = _chain(10)
+    edges = overlay.edge_count()
+    assert augment_to_min_degree(overlay, 0, np.random.default_rng(0)) == 0
+    assert overlay.edge_count() == edges
+
+
+def test_too_small_overlay_raises():
+    overlay = _chain(4)
+    with pytest.raises(AugmentationError):
+        augment_to_min_degree(overlay, 5, np.random.default_rng(0))
+
+
+def test_negative_min_degree_rejected():
+    overlay = _chain(10)
+    with pytest.raises(ValueError):
+        augment_to_min_degree(overlay, -1, np.random.default_rng(0))
+
+
+def test_complete_graph_needs_no_edges():
+    overlay = Overlay()
+    for i in range(6):
+        overlay.add_node(NodeInfo(node_id=i))
+    for i in range(6):
+        for j in range(i + 1, 6):
+            overlay.add_edge(i, j)
+    assert augment_to_min_degree(overlay, 5, np.random.default_rng(0)) == 0
+
+
+def test_deterministic_for_fixed_rng_seed():
+    overlay_a = _chain(40)
+    overlay_b = _chain(40)
+    augment_to_min_degree(overlay_a, 5, np.random.default_rng(9))
+    augment_to_min_degree(overlay_b, 5, np.random.default_rng(9))
+    assert sorted(overlay_a.edges()) == sorted(overlay_b.edges())

@@ -1,0 +1,95 @@
+"""Tests for the gossip membership service."""
+
+import numpy as np
+import pytest
+
+from repro.overlay.membership import MembershipService
+from repro.overlay.topology import NodeInfo, Overlay
+
+
+def _overlay(n: int = 12, degree_edges=None) -> Overlay:
+    overlay = Overlay()
+    for i in range(n):
+        overlay.add_node(NodeInfo(node_id=i))
+    edges = degree_edges or [(i, (i + 1) % n) for i in range(n)]
+    for a, b in edges:
+        overlay.add_edge(a, b)
+    return overlay
+
+
+def _service(overlay: Overlay, min_degree: int = 3, protected=()):
+    return MembershipService(
+        overlay, min_degree, np.random.default_rng(5), protected=protected
+    )
+
+
+def test_join_connects_new_node_to_min_degree_partners():
+    overlay = _overlay()
+    service = _service(overlay, min_degree=3)
+    node_id = service.join()
+    assert node_id in overlay
+    assert overlay.degree(node_id) == 3
+    assert service.joins == 1
+
+
+def test_join_with_explicit_info_advances_id_counter():
+    overlay = _overlay()
+    service = _service(overlay)
+    node_id = service.join(NodeInfo(node_id=100, ping_ms=10.0))
+    assert node_id == 100
+    assert service.allocate_node_id() == 101
+
+
+def test_leave_removes_node_and_reports_former_neighbours():
+    overlay = _overlay()
+    service = _service(overlay)
+    former = service.leave(3)
+    assert 3 not in overlay
+    assert set(former) == {2, 4}
+    assert service.leaves == 1
+
+
+def test_protected_nodes_cannot_leave():
+    overlay = _overlay()
+    service = _service(overlay, protected={0})
+    with pytest.raises(ValueError):
+        service.leave(0)
+
+
+def test_repair_restores_min_degree_after_leave():
+    overlay = _overlay()
+    service = _service(overlay, min_degree=2)
+    former = service.leave(5)
+    service.repair(former)
+    for node in former:
+        assert overlay.degree(node) >= 2
+
+
+def test_repair_all_nodes_by_default():
+    overlay = _overlay()
+    service = _service(overlay, min_degree=4)
+    added = service.repair()
+    assert added > 0
+    assert all(overlay.degree(n) >= 4 for n in overlay.node_ids)
+
+
+def test_random_alive_peer_respects_exclusions():
+    overlay = _overlay(n=4, degree_edges=[(0, 1), (1, 2), (2, 3)])
+    service = _service(overlay, min_degree=1)
+    pick = service.random_alive_peer(exclude=[0, 1, 2])
+    assert pick == 3
+    assert service.random_alive_peer(exclude=[0, 1, 2, 3]) is None
+
+
+def test_min_degree_must_be_positive():
+    overlay = _overlay()
+    with pytest.raises(ValueError):
+        MembershipService(overlay, 0, np.random.default_rng(0))
+
+
+def test_join_on_tiny_overlay_connects_to_everyone():
+    overlay = Overlay()
+    overlay.add_node(NodeInfo(node_id=0))
+    service = MembershipService(overlay, 5, np.random.default_rng(0))
+    node_id = service.join()
+    assert overlay.degree(node_id) == 1  # only one possible partner

@@ -1,0 +1,35 @@
+"""Tests for the package's public API surface."""
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_public_names_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_top_level_quickstart_flow():
+    config = repro.make_session_config(36, seed=2, max_time=70.0,
+                                       old_stream_segments=400, lookahead=120)
+    result = repro.run_single(config)
+    assert result.metrics.avg_switch_time > 0
+    assert isinstance(repro.FastSwitchAlgorithm(), repro.FastSwitchAlgorithm)
+
+
+def test_optimal_split_reachable_from_top_level():
+    split = repro.optimal_split(15.0, 50.0, 50.0, 10.0, 10.0)
+    assert split.r1 > 0 and split.r2 > 0
+
+
+def test_subpackages_import_cleanly():
+    import repro.churn  # noqa: F401
+    import repro.core  # noqa: F401
+    import repro.experiments  # noqa: F401
+    import repro.metrics  # noqa: F401
+    import repro.overlay  # noqa: F401
+    import repro.sim  # noqa: F401
+    import repro.streaming  # noqa: F401

@@ -1,0 +1,54 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, SimulationClock
+
+
+def test_clock_starts_at_zero_by_default():
+    clock = SimulationClock()
+    assert clock.now == 0.0
+    assert clock.elapsed == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    clock = SimulationClock(start=-30.0)
+    assert clock.now == -30.0
+    assert clock.start == -30.0
+
+
+def test_advance_moves_time_forward():
+    clock = SimulationClock()
+    clock.advance_to(1.5)
+    clock.advance_to(4.0)
+    assert clock.now == 4.0
+    assert clock.elapsed == 4.0
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = SimulationClock()
+    clock.advance_to(2.0)
+    clock.advance_to(2.0)
+    assert clock.now == 2.0
+
+
+def test_advance_backwards_raises():
+    clock = SimulationClock()
+    clock.advance_to(5.0)
+    with pytest.raises(ClockError):
+        clock.advance_to(4.999)
+
+
+def test_reset_restores_start():
+    clock = SimulationClock()
+    clock.advance_to(10.0)
+    clock.reset(2.0)
+    assert clock.now == 2.0
+    assert clock.start == 2.0
+    assert clock.elapsed == 0.0
+
+
+def test_elapsed_accounts_for_negative_start():
+    clock = SimulationClock(start=-10.0)
+    clock.advance_to(5.0)
+    assert clock.elapsed == pytest.approx(15.0)

@@ -1,0 +1,113 @@
+"""Tests for the discrete-event engine and periodic processes."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, StopSimulation
+
+
+def test_schedule_and_run_executes_in_order():
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(2.0, lambda: seen.append(("b", engine.now)))
+    engine.schedule(1.0, lambda: seen.append(("a", engine.now)))
+    engine.run()
+    assert seen == [("a", 1.0), ("b", 2.0)]
+    assert engine.processed_events == 2
+
+
+def test_schedule_in_uses_relative_delay():
+    engine = SimulationEngine(start_time=5.0)
+    seen = []
+    engine.schedule_in(2.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [7.5]
+
+
+def test_schedule_in_negative_delay_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError):
+        engine.schedule_in(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    engine = SimulationEngine()
+    engine.schedule(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule(0.5, lambda: None)
+
+
+def test_run_until_stops_at_horizon():
+    engine = SimulationEngine()
+    seen = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        engine.schedule(t, lambda t=t: seen.append(t))
+    engine.run_until(2.5)
+    assert seen == [1.0, 2.0]
+    assert engine.now == 2.5
+    # pending events survive and can still run later
+    engine.run()
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_stop_simulation_ends_run_and_records_reason():
+    engine = SimulationEngine()
+    seen = []
+
+    def stopper():
+        raise StopSimulation("done early")
+
+    engine.schedule(1.0, lambda: seen.append(1))
+    engine.schedule(2.0, stopper)
+    engine.schedule(3.0, lambda: seen.append(3))
+    engine.run()
+    assert seen == [1]
+    assert engine.stop_reason == "done early"
+
+
+def test_periodic_process_fires_every_period():
+    engine = SimulationEngine()
+    times = []
+    process = engine.schedule_periodic(1.0, times.append)
+    engine.run_until(4.5)
+    assert times == [1.0, 2.0, 3.0, 4.0]
+    assert process.fired == 4
+
+
+def test_periodic_process_custom_start_and_stop():
+    engine = SimulationEngine()
+    times = []
+    process = engine.schedule_periodic(2.0, times.append, start=1.0)
+
+    def maybe_stop(now: float) -> None:
+        if now >= 5.0:
+            process.stop()
+
+    engine.schedule_periodic(1.0, maybe_stop)
+    engine.run_until(10.0)
+    assert times == [1.0, 3.0, 5.0]
+    assert not process.active
+
+
+def test_periodic_process_rejects_nonpositive_period():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError):
+        engine.schedule_periodic(0.0, lambda now: None)
+
+
+def test_cancel_one_shot_event():
+    engine = SimulationEngine()
+    seen = []
+    event = engine.schedule(1.0, lambda: seen.append("x"))
+    engine.cancel(event)
+    engine.run()
+    assert seen == []
+
+
+def test_max_events_bounds_execution():
+    engine = SimulationEngine()
+    seen = []
+    for t in range(1, 6):
+        engine.schedule(float(t), lambda t=t: seen.append(t))
+    engine.run(max_events=3)
+    assert seen == [1, 2, 3]

@@ -1,0 +1,76 @@
+"""Tests for the event queue."""
+
+from repro.sim.events import EventQueue
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    seen = []
+    queue.push(3.0, lambda: seen.append("c"))
+    queue.push(1.0, lambda: seen.append("a"))
+    queue.push(2.0, lambda: seen.append("b"))
+    while queue:
+        queue.pop().callback()
+    assert seen == ["a", "b", "c"]
+
+
+def test_ties_broken_by_priority_then_insertion_order():
+    queue = EventQueue()
+    seen = []
+    queue.push(1.0, lambda: seen.append("late"), priority=5)
+    queue.push(1.0, lambda: seen.append("first"), priority=0)
+    queue.push(1.0, lambda: seen.append("second"), priority=0)
+    order = []
+    while queue:
+        order.append(queue.pop())
+    for event in order:
+        event.callback()
+    assert seen == ["first", "second", "late"]
+
+
+def test_len_counts_pending_events():
+    queue = EventQueue()
+    assert len(queue) == 0
+    e1 = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    queue.cancel(e1)
+    assert len(queue) == 1
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    seen = []
+    keep = queue.push(1.0, lambda: seen.append("keep"))
+    drop = queue.push(0.5, lambda: seen.append("drop"))
+    queue.cancel(drop)
+    nxt = queue.pop()
+    assert nxt is keep
+    nxt.callback()
+    assert seen == ["keep"]
+    assert queue.pop() is None
+
+
+def test_peek_does_not_remove():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None, label="x")
+    assert queue.peek() is queue.peek()
+    assert len(queue) == 1
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert len(queue) == 0
+    assert queue.pop() is None
+
+
+def test_iteration_skips_cancelled():
+    queue = EventQueue()
+    e1 = queue.push(1.0, lambda: None, label="a")
+    queue.push(2.0, lambda: None, label="b")
+    queue.cancel(e1)
+    labels = {event.label for event in queue}
+    assert labels == {"b"}

@@ -1,0 +1,106 @@
+"""Tests for bandwidth sampling and the outbound capacity ledger."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.bandwidth import BandwidthProfile, OutboundLedger, sample_rates
+
+
+def test_bandwidth_profile_rejects_negative_rates():
+    with pytest.raises(ValueError):
+        BandwidthProfile(inbound=-1.0, outbound=1.0)
+    with pytest.raises(ValueError):
+        BandwidthProfile(inbound=1.0, outbound=-1.0)
+    profile = BandwidthProfile(inbound=15.0, outbound=12.0)
+    assert profile.inbound == 15.0
+
+
+def test_sample_rates_respects_bounds_and_mean():
+    rng = np.random.default_rng(0)
+    rates = sample_rates(20_000, rng, low=10.0, high=33.0, mean=15.0)
+    assert rates.min() >= 10.0
+    assert rates.max() <= 33.0
+    # the paper's skewed distribution: mean ~15 (within a few percent)
+    assert abs(rates.mean() - 15.0) < 0.6
+
+
+def test_sample_rates_validates_arguments():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        sample_rates(-1, rng)
+    with pytest.raises(ValueError):
+        sample_rates(10, rng, low=30.0, high=10.0)
+    with pytest.raises(ValueError):
+        sample_rates(10, rng, low=10.0, high=33.0, mean=50.0)
+    assert sample_rates(0, rng).shape == (0,)
+
+
+def test_ledger_consumes_budget_and_rejects_when_exhausted():
+    ledger = OutboundLedger({1: 2.0, 2: 5.0}, period=1.0)
+    assert ledger.consume(1)
+    assert ledger.consume(1)
+    assert not ledger.consume(1)  # budget of 2 exhausted
+    assert ledger.remaining(2) == pytest.approx(5.0)
+    assert ledger.served_total == 2
+    assert ledger.rejected_total == 1
+
+
+def test_ledger_unknown_node_cannot_serve():
+    ledger = OutboundLedger({1: 2.0}, period=1.0)
+    assert not ledger.can_serve(99)
+    assert not ledger.consume(99)
+
+
+def test_ledger_reset_refills_budget():
+    ledger = OutboundLedger({1: 3.0}, period=1.0)
+    for _ in range(3):
+        assert ledger.consume(1)
+    assert not ledger.consume(1)
+    ledger.end_period()
+    ledger.reset_period()
+    assert ledger.consume(1)
+
+
+def test_ledger_fractional_credit_carries_over():
+    ledger = OutboundLedger({1: 1.5}, period=1.0)
+    assert ledger.consume(1)
+    assert not ledger.consume(1)  # 0.5 left, below one segment
+    ledger.end_period()
+    ledger.reset_period()
+    # 1.5 + 0.5 carried credit = 2 segments available this period
+    assert ledger.consume(1)
+    assert ledger.consume(1)
+    assert not ledger.consume(1)
+
+
+def test_ledger_credit_capped_at_one_segment():
+    ledger = OutboundLedger({1: 5.0}, period=1.0)
+    ledger.end_period()  # nothing consumed; credit capped at 1.0
+    ledger.reset_period()
+    served = 0
+    while ledger.consume(1):
+        served += 1
+    assert served == 6  # 5 + at most 1 carried segment
+
+
+def test_ledger_add_and_remove_nodes():
+    ledger = OutboundLedger({1: 2.0}, period=1.0)
+    ledger.add_node(5, 3.0)
+    assert ledger.consume(5)
+    ledger.remove_node(5)
+    assert not ledger.consume(5)
+    ledger.remove_node(42)  # unknown: no-op
+
+
+def test_ledger_utilisation():
+    ledger = OutboundLedger({1: 4.0, 2: 4.0}, period=1.0)
+    assert ledger.utilisation() == pytest.approx(0.0)
+    ledger.consume(1)
+    ledger.consume(1)
+    assert 0.0 < ledger.utilisation() < 1.0
+    assert ledger.utilisation([1]) == pytest.approx(0.5)
+
+
+def test_ledger_requires_positive_period():
+    with pytest.raises(ValueError):
+        OutboundLedger({1: 1.0}, period=0.0)

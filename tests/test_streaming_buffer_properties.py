@@ -1,0 +1,85 @@
+"""Property-based tests for the FIFO buffer (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.buffer import SegmentBuffer
+
+ids = st.lists(st.integers(min_value=0, max_value=200), min_size=0, max_size=120)
+capacities = st.integers(min_value=1, max_value=40)
+
+
+@settings(max_examples=200, deadline=None)
+@given(inserts=ids, capacity=capacities)
+def test_size_never_exceeds_capacity(inserts, capacity):
+    buffer = SegmentBuffer(capacity=capacity)
+    buffer.insert_many(inserts)
+    assert len(buffer) <= capacity
+    assert len(buffer) == len(buffer.as_set())
+
+
+@settings(max_examples=200, deadline=None)
+@given(inserts=ids, capacity=capacities)
+def test_buffer_matches_reference_fifo_model(inserts, capacity):
+    """The buffer behaves exactly like a simple list-based FIFO model.
+
+    The model: an insert of an id not currently held appends it; when the
+    size exceeds the capacity the oldest held id is dropped.  Re-inserting a
+    currently-held id is a no-op, but an id that was evicted earlier can be
+    inserted again.
+    """
+    buffer = SegmentBuffer(capacity=capacity)
+    model: list[int] = []
+    for seg in inserts:
+        buffer.insert(seg)
+        if seg not in model:
+            model.append(seg)
+            if len(model) > capacity:
+                model.pop(0)
+    assert list(buffer) == model
+    assert buffer.as_set() == frozenset(model)
+
+
+@settings(max_examples=200, deadline=None)
+@given(inserts=ids, capacity=capacities)
+def test_positions_are_a_permutation_of_1_to_n(inserts, capacity):
+    buffer = SegmentBuffer(capacity=capacity)
+    buffer.insert_many(inserts)
+    positions = sorted(buffer.position_from_tail(seg) for seg in buffer.as_set())
+    assert positions == list(range(1, len(buffer) + 1))
+
+
+@settings(max_examples=200, deadline=None)
+@given(inserts=ids, capacity=capacities)
+def test_newest_has_position_one_and_oldest_has_position_len(inserts, capacity):
+    buffer = SegmentBuffer(capacity=capacity)
+    buffer.insert_many(inserts)
+    if len(buffer) == 0:
+        return
+    assert buffer.position_from_tail(buffer.newest()) == 1
+    assert buffer.position_from_tail(buffer.oldest()) == len(buffer)
+
+
+@settings(max_examples=200, deadline=None)
+@given(inserts=ids, capacity=capacities,
+       discards=st.lists(st.integers(min_value=0, max_value=200), max_size=20))
+def test_positions_remain_consistent_after_discards(inserts, capacity, discards):
+    buffer = SegmentBuffer(capacity=capacity)
+    buffer.insert_many(inserts)
+    for seg in discards:
+        buffer.discard(seg)
+    positions = sorted(buffer.position_from_tail(seg) for seg in buffer.as_set())
+    assert positions == list(range(1, len(buffer) + 1))
+
+
+@settings(max_examples=150, deadline=None)
+@given(inserts=ids, capacity=capacities, lo=st.integers(0, 200), hi=st.integers(0, 200))
+def test_range_queries_partition_the_window(inserts, capacity, lo, hi):
+    buffer = SegmentBuffer(capacity=capacity)
+    buffer.insert_many(inserts)
+    held = buffer.ids_in_range(lo, hi)
+    missing = buffer.missing_in_range(lo, hi)
+    window = list(range(lo, hi + 1))
+    assert sorted(held + missing) == window
+    assert all(seg in buffer for seg in held)
+    assert all(seg not in buffer for seg in missing)

@@ -1,0 +1,75 @@
+"""Tests for buffer-map snapshots and wire-size accounting."""
+
+import pytest
+
+from repro.streaming.buffer import SegmentBuffer
+from repro.streaming.buffermap import (
+    UNBOUNDED_CAPACITY,
+    BufferMapSnapshot,
+    buffer_map_bits,
+    snapshot_buffer,
+)
+
+
+def test_paper_wire_size_is_620_bits():
+    # B = 600 slots -> 600 availability bits + 20 offset bits
+    assert buffer_map_bits(600) == 620
+
+
+def test_wire_size_scales_with_capacity():
+    assert buffer_map_bits(100) == 120
+    with pytest.raises(ValueError):
+        buffer_map_bits(0)
+
+
+def test_snapshot_restricted_to_windows():
+    buffer = SegmentBuffer(capacity=600)
+    buffer.insert_many(range(0, 100))
+    snap = snapshot_buffer(7, buffer, [(10, 19), (50, 54)], send_rate=12.0)
+    assert snap.owner_id == 7
+    assert snap.available == frozenset(range(10, 20)) | frozenset(range(50, 55))
+    assert snap.send_rate == 12.0
+    assert snap.wire_bits == 620
+    assert snap.switch_info is None
+
+
+def test_snapshot_positions_match_buffer_positions():
+    buffer = SegmentBuffer(capacity=600)
+    buffer.insert_many(range(0, 10))
+    snap = snapshot_buffer(1, buffer, [(0, 9)], send_rate=1.0)
+    assert snap.position_of(9) == 1
+    assert snap.position_of(0) == 10
+    # unknown ids default to the newest position
+    assert snap.position_of(999) == 1
+
+
+def test_snapshot_of_unbounded_source_buffer():
+    buffer = SegmentBuffer(capacity=None)
+    buffer.insert_many(range(0, 50))
+    snap = snapshot_buffer(2, buffer, [(0, 49)], send_rate=60.0, switch_info=(899, 900))
+    assert snap.buffer_capacity == UNBOUNDED_CAPACITY
+    assert snap.wire_bits == buffer_map_bits(600)
+    assert snap.switch_info == (899, 900)
+
+
+def test_snapshot_capacity_and_wire_overrides():
+    buffer = SegmentBuffer(capacity=300)
+    buffer.insert(5)
+    snap = snapshot_buffer(3, buffer, [(0, 10)], send_rate=1.0,
+                           advertised_capacity=1000, wire_bits=64)
+    assert snap.buffer_capacity == 1000
+    assert snap.wire_bits == 64
+
+
+def test_snapshot_has_helper():
+    snap = BufferMapSnapshot(owner_id=1, available=frozenset({3, 4}))
+    assert snap.has(3)
+    assert not snap.has(5)
+
+
+def test_overlapping_windows_do_not_duplicate():
+    buffer = SegmentBuffer(capacity=600)
+    buffer.insert_many(range(0, 30))
+    snap = snapshot_buffer(1, buffer, [(0, 20), (10, 29)], send_rate=1.0)
+    assert snap.available == frozenset(range(0, 30))
+    assert len(snap.positions) == 30

@@ -1,0 +1,100 @@
+"""Tests for the per-stream playback state machine."""
+
+import pytest
+
+from repro.streaming.buffer import SegmentBuffer
+from repro.streaming.playback import PlaybackState
+
+
+def _buffer(ids):
+    buffer = SegmentBuffer(capacity=None)
+    buffer.insert_many(ids)
+    return buffer
+
+
+def test_playback_requires_startup_quota_before_starting():
+    playback = PlaybackState(play_rate=10.0, startup_quota=5, position=0)
+    buffer = _buffer(range(0, 3))
+    assert not playback.maybe_start(buffer, now=0.0)
+    buffer.insert_many(range(3, 5))
+    assert playback.maybe_start(buffer, now=1.0)
+    assert playback.start_time == 1.0
+
+
+def test_startup_quota_clipped_by_stream_end():
+    playback = PlaybackState(play_rate=10.0, startup_quota=10, position=95, last_id=99)
+    buffer = _buffer(range(95, 100))
+    assert playback.can_start(buffer)
+
+
+def test_advance_plays_rate_times_duration_segments():
+    playback = PlaybackState(play_rate=10.0, startup_quota=1, position=0, started=True)
+    buffer = _buffer(range(0, 100))
+    played = playback.advance(buffer, now=0.0, duration=1.0)
+    assert played == 10
+    assert playback.position == 10
+    assert playback.played == 10
+
+
+def test_fractional_play_budget_carries_over():
+    playback = PlaybackState(play_rate=2.5, startup_quota=1, position=0, started=True)
+    buffer = _buffer(range(0, 100))
+    assert playback.advance(buffer, 0.0, 1.0) == 2
+    assert playback.advance(buffer, 1.0, 1.0) == 3  # carry makes up the .5
+
+
+def test_missing_segment_stalls_and_requires_rebuffering():
+    playback = PlaybackState(play_rate=10.0, startup_quota=3, position=0, started=True)
+    buffer = _buffer([0, 1, 2, 4, 5])  # 3 is missing
+    played = playback.advance(buffer, 0.0, 1.0)
+    assert played == 3
+    assert playback.stall_periods == 1
+    assert not playback.started  # must re-buffer
+    # with the hole filled and the startup quota satisfied it resumes
+    buffer.insert(3)
+    assert playback.maybe_start(buffer, 1.0)
+    assert playback.advance(buffer, 1.0, 1.0) == 3  # segments 3, 4, 5 remain... plus more
+
+
+def test_finite_stream_finishes_and_records_time():
+    playback = PlaybackState(play_rate=10.0, startup_quota=1, position=0, started=True,
+                             last_id=14)
+    buffer = _buffer(range(0, 15))
+    playback.advance(buffer, 0.0, 1.0)
+    assert not playback.finished
+    playback.advance(buffer, 1.0, 1.0)
+    assert playback.finished
+    assert playback.finish_time == pytest.approx(2.0)
+    # advancing a finished stream is a no-op
+    assert playback.advance(buffer, 2.0, 1.0) == 0
+
+
+def test_not_started_stream_does_not_consume():
+    playback = PlaybackState(play_rate=10.0, startup_quota=5, position=0)
+    buffer = _buffer(range(0, 3))
+    assert playback.advance(buffer, 0.0, 1.0) == 0
+    assert playback.position == 0
+
+
+def test_remaining_ids_and_progress():
+    playback = PlaybackState(play_rate=10.0, startup_quota=1, position=5, started=True,
+                             last_id=24)
+    buffer = _buffer(range(0, 25))
+    assert playback.remaining_ids() == range(5, 25)
+    playback.advance(buffer, 0.0, 1.0)
+    assert 0.0 < playback.progress() < 1.0
+    playback.advance(buffer, 1.0, 1.0)
+    assert playback.progress() == 1.0
+    open_ended = PlaybackState(play_rate=10.0, startup_quota=1, position=0)
+    assert open_ended.remaining_ids() is None
+    assert open_ended.progress() == 0.0
+
+
+def test_validation_of_parameters():
+    with pytest.raises(ValueError):
+        PlaybackState(play_rate=0.0, startup_quota=1, position=0)
+    with pytest.raises(ValueError):
+        PlaybackState(play_rate=1.0, startup_quota=0, position=0)
+    playback = PlaybackState(play_rate=1.0, startup_quota=1, position=0, started=True)
+    with pytest.raises(ValueError):
+        playback.advance(_buffer([]), 0.0, -1.0)

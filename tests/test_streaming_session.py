@@ -1,0 +1,154 @@
+"""Integration tests for the switch session (small overlays)."""
+
+import dataclasses
+
+import pytest
+
+from repro.churn.model import ChurnConfig
+from repro.experiments.config import make_session_config
+from repro.streaming.session import (
+    ALGORITHM_FACTORIES,
+    SessionConfig,
+    SwitchSession,
+    run_session,
+)
+
+
+def test_session_config_validation():
+    with pytest.raises(ValueError):
+        SessionConfig(n_nodes=4)
+    with pytest.raises(ValueError):
+        SessionConfig(n_nodes=50, algorithm="unknown")
+    with pytest.raises(ValueError):
+        SessionConfig(n_nodes=50, warmup="magic")
+    with pytest.raises(ValueError):
+        SessionConfig(n_nodes=50, supplier_rate_estimate="psychic")
+    with pytest.raises(ValueError):
+        SessionConfig(n_nodes=50, old_stream_segments=5)
+    with pytest.raises(ValueError):
+        SessionConfig(n_nodes=50, max_time=0.0)
+
+
+def test_with_algorithm_and_factories():
+    config = SessionConfig(n_nodes=50, algorithm="fast")
+    other = config.with_algorithm("normal")
+    assert other.algorithm == "normal"
+    assert config.algorithm == "fast"
+    assert set(ALGORITHM_FACTORIES) == {"fast", "normal"}
+    assert config.make_algorithm().name == "fast"
+
+
+def test_session_setup_builds_consistent_topology(tiny_config):
+    session = SwitchSession(tiny_config)
+    overlay = session.overlay
+    assert len(overlay) == tiny_config.n_nodes
+    assert all(overlay.degree(n) >= tiny_config.min_degree for n in overlay.node_ids)
+    assert len(session.sources) == 2
+    assert len(session.peers) == tiny_config.n_nodes - 2
+    assert session.old_source_id != session.new_source_id
+    # the old source holds its whole stream, the new one holds nothing yet
+    assert len(session.sources[session.old_source_id].buffer) == tiny_config.old_stream_segments
+    assert len(session.sources[session.new_source_id].buffer) == 0
+
+
+def test_analytic_warmup_seeds_backlogs(tiny_config):
+    session = SwitchSession(tiny_config)
+    q0s = [peer.q0 for peer in session.peers.values()]
+    assert all(q0 is not None and q0 >= 0 for q0 in q0s)
+    assert max(q0s) > 0  # someone is behind the live edge
+    for peer in session.peers.values():
+        assert peer.playback_old is not None and peer.playback_old.started
+        assert len(peer.buffer) > 0
+
+
+def test_full_run_completes_every_peer(tiny_config):
+    result = run_session(tiny_config)
+    assert result.metrics.unfinished == 0
+    assert result.metrics.avg_prepare_new > 0
+    assert result.metrics.avg_finish_old > 0
+    assert result.metrics.avg_start_time >= result.metrics.avg_prepare_new - 1e-9
+    assert result.stop_reason == "all tracked peers switched"
+    assert result.n_rounds > 0
+    assert 0 < result.overhead_ratio < 0.2
+    assert result.switch_plan.id_begin == result.switch_plan.id_end + 1
+
+
+def test_runs_are_deterministic_for_a_seed(tiny_config):
+    first = run_session(tiny_config)
+    second = run_session(tiny_config)
+    assert first.metrics.avg_prepare_new == second.metrics.avg_prepare_new
+    assert first.metrics.avg_finish_old == second.metrics.avg_finish_old
+    assert first.overhead_ratio == second.overhead_ratio
+
+
+def test_different_seeds_differ(tiny_config):
+    other = dataclasses.replace(tiny_config, seed=tiny_config.seed + 1)
+    a = run_session(tiny_config)
+    b = run_session(other)
+    assert (
+        a.metrics.avg_prepare_new != b.metrics.avg_prepare_new
+        or a.metrics.avg_finish_old != b.metrics.avg_finish_old
+    )
+
+
+def test_round_series_recorded_and_monotone(tiny_config):
+    result = run_session(tiny_config)
+    rounds = result.metrics.rounds
+    assert len(rounds) >= 3
+    times = [r.time for r in rounds]
+    assert times == sorted(times)
+    undelivered = [r.undelivered_ratio_old for r in rounds]
+    delivered = [r.delivered_ratio_new for r in rounds]
+    # undelivered ratio must fall to 0, delivered ratio must rise to 1
+    assert undelivered[-1] == pytest.approx(0.0, abs=1e-9)
+    assert delivered[-1] == pytest.approx(1.0, abs=1e-9)
+    assert min(delivered) >= 0.0 and max(undelivered) <= 1.0 + 1e-9
+
+
+def test_dynamic_session_with_churn_completes():
+    config = make_session_config(
+        40,
+        seed=11,
+        dynamic=True,
+        max_time=90.0,
+        old_stream_segments=400,
+    )
+    assert config.churn.enabled
+    session = SwitchSession(config)
+    result = session.run()
+    # churn happened and the run still terminates with sensible metrics
+    assert session.churn.total_leaves > 0
+    assert session.churn.total_joins > 0
+    assert result.metrics.n_peers > 0
+    assert result.metrics.avg_prepare_new > 0
+    # joiners are not tracked
+    assert all(p.q0 == 0 for p in session.peers.values() if not p.tracked)
+
+
+def test_simulated_warmup_reaches_steady_state():
+    config = make_session_config(
+        30,
+        seed=5,
+        warmup="simulated",
+        warmup_duration=20.0,
+        max_time=90.0,
+        lookahead=120,
+    )
+    session = SwitchSession(config)
+    result = session.run()
+    assert result.switch_plan.id_end == int(20.0 * config.play_rate) - 1
+    assert result.metrics.unfinished == 0
+    assert result.metrics.avg_prepare_new > 0
+
+
+def test_fair_share_estimator_still_completes(tiny_config):
+    config = dataclasses.replace(tiny_config, supplier_rate_estimate="fair_share")
+    result = run_session(config)
+    assert result.metrics.unfinished == 0
+
+
+def test_overhead_series_is_nondecreasing_in_time(tiny_config):
+    result = run_session(tiny_config)
+    times = [t for t, _ in result.overhead_series]
+    assert times == sorted(times)
+    assert all(ratio > 0 for _, ratio in result.overhead_series[1:])

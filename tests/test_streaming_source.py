@@ -1,0 +1,78 @@
+"""Tests for source node behaviour."""
+
+import pytest
+
+from repro.core.base import Stream
+from repro.streaming.segment import StreamSpec, SwitchPlan
+from repro.streaming.source import SourceNode
+
+
+def _old_spec():
+    return StreamSpec(stream=Stream.OLD, source_id=0, first_id=0, rate=10.0)
+
+
+def _new_spec(first_id=900):
+    return StreamSpec(stream=Stream.NEW, source_id=1, first_id=first_id, rate=10.0)
+
+
+def test_source_generates_at_stream_rate():
+    source = SourceNode(_new_spec(), outbound_rate=60.0, start_time=0.0)
+    assert source.generate_until(0.0) == ()
+    new_ids = source.generate_until(2.0)
+    assert list(new_ids) == list(range(900, 920))
+    assert source.generated == 20
+    assert source.last_generated_id() == 919
+    # idempotent for the same time
+    assert source.generate_until(2.0) == ()
+
+
+def test_source_stops_at_stop_time():
+    source = SourceNode(_old_spec(), outbound_rate=60.0, start_time=-5.0, stop_time=0.0)
+    source.generate_until(10.0)
+    assert source.generated == 50  # only the 5 seconds before the stop
+    assert source.buffer.contains(49)
+    assert not source.buffer.contains(50)
+
+
+def test_preload_fills_buffer_instantly():
+    source = SourceNode(_old_spec(), outbound_rate=60.0, stop_time=0.0)
+    ids = source.preload(900)
+    assert len(ids) == 900
+    assert source.generated == 900
+    assert source.last_generated_id() == 899
+    assert len(source.buffer) == 900
+    with pytest.raises(ValueError):
+        source.preload(-1)
+
+
+def test_source_has_zero_inbound_and_positive_outbound():
+    source = SourceNode(_old_spec(), outbound_rate=60.0)
+    assert source.inbound_rate == 0.0
+    assert source.outbound_rate == 60.0
+    with pytest.raises(ValueError):
+        SourceNode(_old_spec(), outbound_rate=0.0)
+
+
+def test_switch_announcement_requires_plan():
+    source = SourceNode(_new_spec(), outbound_rate=60.0)
+    assert source.switch_announcement() is None
+    plan = SwitchPlan.from_old_stream(899)
+    source.announce_switch(plan)
+    assert source.switch_announcement() == (899, 900)
+
+
+def test_snapshot_carries_announcement_and_availability():
+    source = SourceNode(_new_spec(), outbound_rate=60.0, start_time=0.0)
+    source.announce_switch(SwitchPlan.from_old_stream(899))
+    source.generate_until(3.0)
+    snap = source.snapshot_for([(900, 949)], send_rate=12.0)
+    assert snap.owner_id == 1
+    assert snap.available == frozenset(range(900, 930))
+    assert snap.switch_info == (899, 900)
+    assert snap.send_rate == 12.0
+
+
+def test_last_generated_id_none_before_first_segment():
+    source = SourceNode(_new_spec(), outbound_rate=60.0)
+    assert source.last_generated_id() is None
+    assert source.stream is Stream.NEW
