@@ -7,14 +7,14 @@ old stream faster but gathers the new stream's startup window later; the
 fast algorithm balances the two and completes the switch earlier.
 """
 
-from conftest import BENCH_SEED, TRACK_SIZE, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, TRACK_SIZE, report_figure
 
 from repro.experiments.figures import figure5
 
 
 def test_fig05_ratio_track_static(benchmark):
     result = benchmark.pedantic(
-        lambda: figure5(n_nodes=TRACK_SIZE, seed=BENCH_SEED, max_time=90.0),
+        lambda: figure5(n_nodes=TRACK_SIZE, seed=BENCH_SEED, max_time=90.0, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

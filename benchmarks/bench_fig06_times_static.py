@@ -7,14 +7,14 @@ preparing time of S2 -- in that (non-decreasing) order.  The fast algorithm
 "splits the difference" between the baseline's finish and prepare times.
 """
 
-from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, SWEEP_SIZES, report_figure
 
 from repro.experiments.figures import figure6
 
 
 def test_fig06_times_static(benchmark):
     result = benchmark.pedantic(
-        lambda: figure6(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        lambda: figure6(sizes=SWEEP_SIZES, seed=BENCH_SEED, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

@@ -7,14 +7,14 @@ sizes the measured reduction is typically 5--20% and grows towards the
 paper's band at the full scale (see EXPERIMENTS.md).
 """
 
-from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, SWEEP_SIZES, report_figure
 
 from repro.experiments.figures import figure7
 
 
 def test_fig07_switch_time_static(benchmark):
     result = benchmark.pedantic(
-        lambda: figure7(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        lambda: figure7(sizes=SWEEP_SIZES, seed=BENCH_SEED, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

@@ -5,14 +5,14 @@ reports values slightly above 1% for both algorithms, with the fast
 algorithm's overhead a little lower because it utilises bandwidth better.
 """
 
-from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, SWEEP_SIZES, report_figure
 
 from repro.experiments.figures import figure8
 
 
 def test_fig08_overhead_static(benchmark):
     result = benchmark.pedantic(
-        lambda: figure8(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        lambda: figure8(sizes=SWEEP_SIZES, seed=BENCH_SEED, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

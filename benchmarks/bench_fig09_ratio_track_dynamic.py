@@ -7,14 +7,14 @@ metrics).  The paper reports results "consistent with those in static
 environments".
 """
 
-from conftest import BENCH_SEED, TRACK_SIZE, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, TRACK_SIZE, report_figure
 
 from repro.experiments.figures import figure9
 
 
 def test_fig09_ratio_track_dynamic(benchmark):
     result = benchmark.pedantic(
-        lambda: figure9(n_nodes=TRACK_SIZE, seed=BENCH_SEED, max_time=90.0),
+        lambda: figure9(n_nodes=TRACK_SIZE, seed=BENCH_SEED, max_time=90.0, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

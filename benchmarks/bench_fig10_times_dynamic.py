@@ -1,13 +1,13 @@
 """Figure 10: average finishing/preparing times vs overlay size (dynamic)."""
 
-from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, SWEEP_SIZES, report_figure
 
 from repro.experiments.figures import figure10
 
 
 def test_fig10_times_dynamic(benchmark):
     result = benchmark.pedantic(
-        lambda: figure10(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        lambda: figure10(sizes=SWEEP_SIZES, seed=BENCH_SEED, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

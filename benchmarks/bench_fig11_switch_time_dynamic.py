@@ -5,14 +5,14 @@ ones: the fast algorithm keeps its 20-30% switch-time reduction under 5%
 per-period churn.
 """
 
-from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, SWEEP_SIZES, report_figure
 
 from repro.experiments.figures import figure11
 
 
 def test_fig11_switch_time_dynamic(benchmark):
     result = benchmark.pedantic(
-        lambda: figure11(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        lambda: figure11(sizes=SWEEP_SIZES, seed=BENCH_SEED, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

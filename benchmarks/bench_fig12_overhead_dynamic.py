@@ -1,13 +1,13 @@
 """Figure 12: communication overhead vs overlay size (dynamic)."""
 
-from conftest import BENCH_SEED, SWEEP_SIZES, report_figure
+from conftest import BENCH_SEED, RESULTS_STORE, SWEEP_SIZES, report_figure
 
 from repro.experiments.figures import figure12
 
 
 def test_fig12_overhead_dynamic(benchmark):
     result = benchmark.pedantic(
-        lambda: figure12(sizes=SWEEP_SIZES, seed=BENCH_SEED),
+        lambda: figure12(sizes=SWEEP_SIZES, seed=BENCH_SEED, store=RESULTS_STORE),
         rounds=1,
         iterations=1,
     )

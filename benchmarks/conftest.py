@@ -6,6 +6,11 @@ overlay sizes are reduced so the whole suite finishes in a few minutes on a
 laptop; set ``REPRO_PAPER_SCALE=1`` to run the paper's full 100--8000-node
 sweep (this takes hours).
 
+Set ``REPRO_RESULTS_DIR=/path/to/results`` to persist every simulation in
+the on-disk result store: a repeated benchmark run (and any ``repro-gossip
+figure``/``sweep`` invocation over the same directory) then replays from
+disk instead of re-simulating.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only
@@ -13,7 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 import pytest
 
@@ -24,6 +29,7 @@ from repro.experiments.config import (
     RATIO_TRACK_SIZE,
     paper_scale_enabled,
 )
+from repro.experiments.store import ResultStore, default_results_dir
 from repro.metrics.report import format_table
 
 #: Sizes used by the sweep figures in benchmark mode.
@@ -34,6 +40,12 @@ TRACK_SIZE: int = RATIO_TRACK_SIZE if paper_scale_enabled() else BENCH_RATIO_TRA
 
 #: Seed shared by all benchmark simulations (keeps paired runs comparable).
 BENCH_SEED: int = 1
+
+#: Persistent result store (``REPRO_RESULTS_DIR``), or ``None`` to simulate
+#: from scratch on every benchmark run.
+RESULTS_STORE: Optional[ResultStore] = (
+    ResultStore(default_results_dir()) if default_results_dir() else None
+)
 
 
 def report_figure(benchmark, figure_result) -> None:
@@ -57,6 +69,8 @@ def report_rows(benchmark, title: str, rows: Sequence[Mapping[str, object]]) -> 
 @pytest.fixture(scope="session", autouse=True)
 def _announce_scale():
     scale = "paper scale" if paper_scale_enabled() else "reduced benchmark scale"
+    storage = (f"result store at {RESULTS_STORE.root}" if RESULTS_STORE is not None
+               else "no result store (set REPRO_RESULTS_DIR to enable replay)")
     print(f"\n[repro benchmarks] running at {scale}: sweep sizes {tuple(SWEEP_SIZES)}, "
-          f"ratio-track size {TRACK_SIZE}")
+          f"ratio-track size {TRACK_SIZE}; {storage}")
     yield

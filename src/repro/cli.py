@@ -1,12 +1,24 @@
 """Command-line interface.
 
-Installed as ``repro-gossip`` (see ``pyproject.toml``), also usable as
-``python -m repro.cli``.  Sub-commands:
+Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
+``pyproject.toml``), also usable as ``python -m repro.cli``.  Sub-commands:
 
 ``figure N``
     Regenerate the data behind paper figure ``N`` and print it as a table
     (optionally as JSON).  ``--paper-scale`` switches to the paper's full
     overlay sizes (slow); the default uses the reduced benchmark sizes.
+    With ``--results-dir`` results are read from / written to the
+    persistent store; ``--from-store`` forbids simulation entirely (pure
+    replay).
+
+``sweep``
+    Run a paired fast-vs-normal size sweep -- the workload behind Figures
+    6--8 and 10--12 -- optionally in parallel (``--workers N``) and through
+    the persistent result store (``--results-dir PATH``), and print one row
+    per overlay size.
+
+``store ls`` / ``store clear``
+    Inspect or empty a results directory.
 
 ``run``
     Run a single simulation (choose algorithm, size, seed, churn) and print
@@ -20,6 +32,9 @@ Installed as ``repro-gossip`` (see ``pyproject.toml``), also usable as
 
 ``trace``
     Generate a synthetic clip2/DSS-style overlay trace file.
+
+The results directory may also be set via the ``REPRO_RESULTS_DIR``
+environment variable (the ``--results-dir`` flag wins).
 """
 
 from __future__ import annotations
@@ -29,15 +44,52 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.experiments.config import make_session_config
+from repro.experiments.config import make_session_config, sweep_sizes
 from repro.experiments.figures import FIGURE_GENERATORS, generate_figure
 from repro.experiments.runner import run_pair, run_single
 from repro.experiments.scenarios import SCENARIOS, scenario_config
+from repro.experiments.store import MissingResultError, ResultStore, default_results_dir
+from repro.experiments.sweeps import run_size_sweep
 from repro.metrics.report import format_table
 from repro.overlay.generator import generate_trace
 from repro.overlay.trace import write_trace
 
 __all__ = ["main", "build_parser"]
+
+
+#: Figures backed by a size sweep (accept ``sizes``/``repetitions``/``workers``).
+_SWEEP_FIGURES = {"6", "7", "8", "10", "11", "12"}
+
+#: Figures backed by a single paired run with per-round series.
+_TRACK_FIGURES = {"5", "9"}
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for options that must be >= 1 (e.g. ``--workers``)."""
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {number}")
+    return number
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared persistent-store options to a sub-command."""
+    parser.add_argument("--results-dir", default=None,
+                        help="persistent result store directory "
+                             "(default: $REPRO_RESULTS_DIR if set)")
+
+
+def _resolve_store(args: argparse.Namespace, *, replay_only: bool = False,
+                   required: bool = False) -> Optional[ResultStore]:
+    """Build the :class:`ResultStore` selected by ``--results-dir``/env."""
+    path = args.results_dir if args.results_dir else default_results_dir()
+    if path is None:
+        if required:
+            raise SystemExit(
+                "error: no results directory; pass --results-dir or set REPRO_RESULTS_DIR"
+            )
+        return None
+    return ResultStore(path, replay_only=replay_only)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,11 +113,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the swept overlay sizes")
     fig.add_argument("--n-nodes", type=int, default=None,
                      help="override the overlay size (ratio-track figures)")
-    fig.add_argument("--repetitions", type=int, default=1,
+    fig.add_argument("--repetitions", type=_positive_int, default=1,
                      help="independent repetitions per size (sweep figures)")
     fig.add_argument("--json", action="store_true", help="emit JSON instead of a table")
     fig.add_argument("--chart", action="store_true",
                      help="also render the figure's series as an ASCII chart")
+    fig.add_argument("--workers", type=_positive_int, default=1,
+                     help="worker processes for the underlying sweep (sweep figures)")
+    fig.add_argument("--from-store", action="store_true",
+                     help="replay from the result store only; never simulate")
+    _add_store_arguments(fig)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a paired fast-vs-normal size sweep (Figures 6-8/10-12 workload)",
+    )
+    sweep.add_argument("--sizes", type=int, nargs="+", default=None,
+                       help="overlay sizes to sweep (default: benchmark sizes)")
+    sweep.add_argument("--paper-scale", action="store_true",
+                       help="sweep the paper's full overlay sizes (slow)")
+    sweep.add_argument("--dynamic", action="store_true",
+                       help="enable the paper's churn model (Figures 10-12)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--repetitions", type=_positive_int, default=1,
+                       help="independent repetitions per size (>= 3 for paper-grade)")
+    sweep.add_argument("--workers", type=_positive_int, default=1,
+                       help="worker processes; results are bit-identical to --workers 1")
+    sweep.add_argument("--max-time", type=float, default=None,
+                       help="override the simulation horizon in seconds")
+    sweep.add_argument("--json", action="store_true")
+    _add_store_arguments(sweep)
+
+    store = sub.add_parser("store", help="inspect or empty the persistent result store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list stored results")
+    store_ls.add_argument("--json", action="store_true")
+    _add_store_arguments(store_ls)
+    store_clear = store_sub.add_parser("clear", help="delete every stored result")
+    _add_store_arguments(store_clear)
 
     run = sub.add_parser("run", help="run a single simulation")
     run.add_argument("--algorithm", choices=["fast", "normal"], default="fast")
@@ -114,18 +199,27 @@ def _metrics_rows(result) -> List[dict]:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    store = _resolve_store(args, replay_only=args.from_store, required=args.from_store)
     kwargs: dict = {"seed": args.seed}
     if args.paper_scale:
         kwargs["paper_scale"] = True
-    if args.number in {"6", "7", "8", "10", "11", "12"}:
+    if args.number in _SWEEP_FIGURES:
         if args.sizes:
             kwargs["sizes"] = args.sizes
         kwargs["repetitions"] = args.repetitions
-    if args.number in {"5", "9"} and args.n_nodes:
+        if args.workers > 1:
+            kwargs["workers"] = args.workers
+    if args.number in _TRACK_FIGURES and args.n_nodes:
         kwargs["n_nodes"] = args.n_nodes
     if args.number == "2":
         kwargs = {}
-    result = generate_figure(args.number, **kwargs)
+    elif store is not None:
+        kwargs["store"] = store
+    try:
+        result = generate_figure(args.number, **kwargs)
+    except MissingResultError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if args.json:
         print(json.dumps({
             "figure": result.figure_id,
@@ -142,6 +236,54 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print()
             print(ascii_line_chart(result.series, title=f"Figure {result.figure_id}: "
                                                         f"{result.title}"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    store = _resolve_store(args)
+    sizes = args.sizes if args.sizes else list(sweep_sizes(paper_scale=args.paper_scale or None))
+    overrides: dict = {}
+    if args.max_time is not None:
+        overrides["max_time"] = args.max_time
+    sweep = run_size_sweep(
+        sizes,
+        dynamic=args.dynamic,
+        seed=args.seed,
+        repetitions=args.repetitions,
+        overrides=overrides,
+        workers=args.workers,
+        store=store,
+    )
+    if args.json:
+        print(json.dumps({
+            "sizes": sizes,
+            "dynamic": sweep.dynamic,
+            "seed": sweep.seed,
+            "repetitions": args.repetitions,
+            "workers": args.workers,
+            "results_dir": str(store.root) if store is not None else None,
+            "rows": sweep.rows(),
+        }, indent=2))
+    else:
+        print(format_table(sweep.rows()))
+        if store is not None:
+            print(f"\nresults persisted under {store.root}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = _resolve_store(args, required=True)
+    if args.store_command == "ls":
+        entries = store.entries()
+        if getattr(args, "json", False):
+            print(json.dumps([entry.as_row() for entry in entries], indent=2))
+        elif not entries:
+            print(f"(store at {store.root} is empty)")
+        else:
+            print(format_table([entry.as_row() for entry in entries]))
+    else:  # clear
+        removed = store.clear()
+        print(f"removed {removed} stored result(s) from {store.root}")
     return 0
 
 
@@ -204,6 +346,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
+    "store": _cmd_store,
     "run": _cmd_run,
     "compare": _cmd_compare,
     "scenario": _cmd_scenario,

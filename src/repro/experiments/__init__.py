@@ -10,6 +10,11 @@ This subpackage turns the simulator into the paper's evaluation:
 * :mod:`repro.experiments.sweeps` -- network-size sweeps with caching so
   the figure generators that share a sweep (6/7/8 and 10/11/12) do not
   re-simulate;
+* :mod:`repro.experiments.store` -- the persistent on-disk result store
+  (JSON keyed by configuration fingerprints) that makes every experiment
+  incremental and turns figure regeneration into replay;
+* :mod:`repro.experiments.parallel` -- deterministic process-pool fan-out
+  of ``(size, repetition)`` sweep pairs, bit-identical to serial runs;
 * :mod:`repro.experiments.figures` -- one generator per paper figure,
   returning the plotted series/rows as plain data (the benchmark harness
   prints them; nothing here depends on matplotlib);
@@ -36,10 +41,24 @@ from repro.experiments.figures import (
     figure12,
     generate_figure,
 )
+from repro.experiments.parallel import ParallelSweepRunner, SweepTask, build_sweep_tasks
 from repro.experiments.runner import PairedRunResult, run_pair, run_single
+from repro.experiments.store import (
+    MissingResultError,
+    ResultStore,
+    pair_fingerprint,
+    sweep_fingerprint,
+)
 from repro.experiments.sweeps import SizeSweepResult, SweepPoint, run_size_sweep
 
 __all__ = [
+    "ResultStore",
+    "MissingResultError",
+    "pair_fingerprint",
+    "sweep_fingerprint",
+    "ParallelSweepRunner",
+    "SweepTask",
+    "build_sweep_tasks",
     "ExperimentDefaults",
     "make_session_config",
     "PAPER_SWEEP_SIZES",

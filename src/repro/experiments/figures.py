@@ -11,6 +11,12 @@ Default parameters are reduced relative to the paper (smaller overlays) so
 that the whole figure suite runs in minutes; pass ``paper_scale=True`` (or
 set ``REPRO_PAPER_SCALE=1``) to use the paper's 100--8000-node sweep and the
 1000-node ratio tracks.
+
+Every simulation-backed generator accepts ``store=`` (a
+:class:`~repro.experiments.store.ResultStore`): with a warm store, figure
+generation is pure replay -- no simulator code runs.  The sweep figures
+additionally accept ``workers=`` to fan the underlying size sweep out over
+a process pool (see :mod:`repro.experiments.parallel`).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.experiments.config import (
     sweep_sizes,
 )
 from repro.experiments.runner import run_pair
+from repro.experiments.store import ResultStore
 from repro.experiments.sweeps import SizeSweepResult, run_size_sweep
 from repro.metrics.report import format_table
 
@@ -155,12 +162,13 @@ def _ratio_track(
     paper_scale: Optional[bool],
     figure_id: str,
     max_time: float,
+    store: Optional[ResultStore],
 ) -> FigureResult:
     size = n_nodes if n_nodes is not None else ratio_track_size(paper_scale=paper_scale)
     config = make_session_config(
         size, seed=seed, dynamic=dynamic, record_rounds=True, max_time=max_time
     )
-    pair = run_pair(config)
+    pair = run_pair(config, store=store)
 
     series: Dict[str, List[Tuple[float, float]]] = {
         "normal_undelivered_ratio_S1": pair.normal.metrics.series("undelivered_ratio_old"),
@@ -198,23 +206,23 @@ def _ratio_track(
 
 def figure5(
     *, n_nodes: Optional[int] = None, seed: int = 0, paper_scale: Optional[bool] = None,
-    max_time: float = 60.0,
+    max_time: float = 60.0, store: Optional[ResultStore] = None,
 ) -> FigureResult:
     """Figure 5: ratio track in a static network (paper: 1000 nodes)."""
     return _ratio_track(
         dynamic=False, n_nodes=n_nodes, seed=seed, paper_scale=paper_scale,
-        figure_id="5", max_time=max_time,
+        figure_id="5", max_time=max_time, store=store,
     )
 
 
 def figure9(
     *, n_nodes: Optional[int] = None, seed: int = 0, paper_scale: Optional[bool] = None,
-    max_time: float = 60.0,
+    max_time: float = 60.0, store: Optional[ResultStore] = None,
 ) -> FigureResult:
     """Figure 9: ratio track in a dynamic network (paper: 1000 nodes, 5% churn)."""
     return _ratio_track(
         dynamic=True, n_nodes=n_nodes, seed=seed, paper_scale=paper_scale,
-        figure_id="9", max_time=max_time,
+        figure_id="9", max_time=max_time, store=store,
     )
 
 
@@ -227,9 +235,12 @@ def _sweep(
     seed: int,
     repetitions: int,
     paper_scale: Optional[bool],
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
 ) -> SizeSweepResult:
     chosen = tuple(sizes) if sizes is not None else tuple(sweep_sizes(paper_scale=paper_scale))
-    return run_size_sweep(chosen, dynamic=dynamic, seed=seed, repetitions=repetitions)
+    return run_size_sweep(chosen, dynamic=dynamic, seed=seed, repetitions=repetitions,
+                          store=store, workers=workers)
 
 
 def _times_figure(sweep: SizeSweepResult, figure_id: str, dynamic: bool) -> FigureResult:
@@ -322,44 +333,50 @@ def _overhead_figure(sweep: SizeSweepResult, figure_id: str, dynamic: bool) -> F
 
 
 def figure6(*, sizes: Optional[Sequence[int]] = None, seed: int = 0, repetitions: int = 1,
-            paper_scale: Optional[bool] = None) -> FigureResult:
+            paper_scale: Optional[bool] = None, store: Optional[ResultStore] = None,
+            workers: int = 1) -> FigureResult:
     """Figure 6: avg finishing/preparing times vs network size (static)."""
-    sweep = _sweep(sizes, False, seed, repetitions, paper_scale)
+    sweep = _sweep(sizes, False, seed, repetitions, paper_scale, store, workers)
     return _times_figure(sweep, "6", dynamic=False)
 
 
 def figure7(*, sizes: Optional[Sequence[int]] = None, seed: int = 0, repetitions: int = 1,
-            paper_scale: Optional[bool] = None) -> FigureResult:
+            paper_scale: Optional[bool] = None, store: Optional[ResultStore] = None,
+            workers: int = 1) -> FigureResult:
     """Figure 7: avg switch time and reduction ratio vs network size (static)."""
-    sweep = _sweep(sizes, False, seed, repetitions, paper_scale)
+    sweep = _sweep(sizes, False, seed, repetitions, paper_scale, store, workers)
     return _switch_time_figure(sweep, "7", dynamic=False)
 
 
 def figure8(*, sizes: Optional[Sequence[int]] = None, seed: int = 0, repetitions: int = 1,
-            paper_scale: Optional[bool] = None) -> FigureResult:
+            paper_scale: Optional[bool] = None, store: Optional[ResultStore] = None,
+            workers: int = 1) -> FigureResult:
     """Figure 8: communication overhead vs network size (static)."""
-    sweep = _sweep(sizes, False, seed, repetitions, paper_scale)
+    sweep = _sweep(sizes, False, seed, repetitions, paper_scale, store, workers)
     return _overhead_figure(sweep, "8", dynamic=False)
 
 
 def figure10(*, sizes: Optional[Sequence[int]] = None, seed: int = 0, repetitions: int = 1,
-             paper_scale: Optional[bool] = None) -> FigureResult:
+             paper_scale: Optional[bool] = None, store: Optional[ResultStore] = None,
+             workers: int = 1) -> FigureResult:
     """Figure 10: avg finishing/preparing times vs network size (dynamic)."""
-    sweep = _sweep(sizes, True, seed, repetitions, paper_scale)
+    sweep = _sweep(sizes, True, seed, repetitions, paper_scale, store, workers)
     return _times_figure(sweep, "10", dynamic=True)
 
 
 def figure11(*, sizes: Optional[Sequence[int]] = None, seed: int = 0, repetitions: int = 1,
-             paper_scale: Optional[bool] = None) -> FigureResult:
+             paper_scale: Optional[bool] = None, store: Optional[ResultStore] = None,
+             workers: int = 1) -> FigureResult:
     """Figure 11: avg switch time and reduction ratio vs network size (dynamic)."""
-    sweep = _sweep(sizes, True, seed, repetitions, paper_scale)
+    sweep = _sweep(sizes, True, seed, repetitions, paper_scale, store, workers)
     return _switch_time_figure(sweep, "11", dynamic=True)
 
 
 def figure12(*, sizes: Optional[Sequence[int]] = None, seed: int = 0, repetitions: int = 1,
-             paper_scale: Optional[bool] = None) -> FigureResult:
+             paper_scale: Optional[bool] = None, store: Optional[ResultStore] = None,
+             workers: int = 1) -> FigureResult:
     """Figure 12: communication overhead vs network size (dynamic)."""
-    sweep = _sweep(sizes, True, seed, repetitions, paper_scale)
+    sweep = _sweep(sizes, True, seed, repetitions, paper_scale, store, workers)
     return _overhead_figure(sweep, "12", dynamic=True)
 
 

@@ -7,6 +7,11 @@ same overlay topologies, bandwidth assignments and churn schedules.
 ``algorithm`` field), which -- thanks to the named random streams of
 :class:`repro.sim.rng.RandomStreams` -- reproduces identical random draws
 for everything outside the algorithm itself.
+
+When a :class:`~repro.experiments.store.ResultStore` is supplied,
+:func:`run_pair` reads through it: a stored pair for the same
+configuration, seed and code version is replayed from disk instead of
+simulated, and fresh results are persisted for the next caller.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.experiments.store import ResultStore, pair_fingerprint
 from repro.metrics.report import ComparisonRow, compare_metrics
 from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
 
@@ -48,11 +54,32 @@ class PairedRunResult:
         return self.comparison().switch_time_reduction
 
 
-def run_pair(config: SessionConfig) -> PairedRunResult:
+def run_pair(config: SessionConfig, *, store: Optional[ResultStore] = None) -> PairedRunResult:
     """Run the normal and the fast switch algorithm on identical random draws.
 
     The ``algorithm`` field of ``config`` is ignored; both variants are run.
+
+    Parameters
+    ----------
+    config:
+        Shared configuration of both runs (seed included).
+    store:
+        Optional persistent result store.  On a hit the stored pair is
+        returned without simulating; on a miss the pair is simulated and
+        persisted.  A replay-only store raises
+        :class:`~repro.experiments.store.MissingResultError` on a miss.
     """
+    key: Optional[str] = None
+    if store is not None:
+        key = pair_fingerprint(config)
+        cached = store.load_pair(key)
+        if cached is not None:
+            return PairedRunResult(normal=cached[0], fast=cached[1])
+        if store.replay_only:
+            raise store.missing(key)
     normal_result = run_single(config.with_algorithm("normal"))
     fast_result = run_single(config.with_algorithm("fast"))
-    return PairedRunResult(normal=normal_result, fast=fast_result)
+    pair = PairedRunResult(normal=normal_result, fast=fast_result)
+    if store is not None and key is not None:
+        store.save_pair(key, config, normal_result, fast_result)
+    return pair

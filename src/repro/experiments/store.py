@@ -1,0 +1,513 @@
+"""Persistent on-disk result store for simulation results.
+
+Every paper-grade experiment in this repository boils down to paired
+fast-vs-normal simulation runs, and those runs are expensive (minutes at
+benchmark scale, hours at the paper's 8000-node scale).  This module makes
+them *incremental*: results are written to a directory of JSON documents,
+keyed by a stable content hash of the full :class:`SessionConfig` (seed
+included) plus the package's code version, and every consumer -- the size
+sweeps, the figure generators, the benchmark harness and the CLI -- reads
+through the store before simulating.  Regenerating a figure from a warm
+store touches no simulator code at all; it is pure replay.
+
+Two granularities are stored:
+
+``pair`` entries
+    One paired fast-vs-normal comparison (both full
+    :class:`~repro.streaming.session.SessionResult` payloads) for one
+    ``(SessionConfig, seed)``.  The ``algorithm`` field is excluded from
+    the key: a pair always contains both algorithms.
+
+``sweep`` entries
+    One aggregated :class:`~repro.experiments.sweeps.SizeSweepResult`,
+    keyed by the sweep parameters.  Sweep entries round-trip the result
+    exactly and let a repeated sweep invocation return without opening the
+    per-pair documents.
+
+Keys change whenever the configuration *or* the code version changes, so a
+store never serves results produced by a different simulator; stale
+entries are simply never read again (``repro-gossip store clear`` removes
+them).
+
+Examples
+--------
+>>> import tempfile
+>>> store = ResultStore(tempfile.mkdtemp())
+>>> len(store)
+0
+>>> store.clear()
+0
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.churn.model import ChurnConfig
+from repro.metrics.report import metrics_from_dict, metrics_to_dict
+from repro.streaming.segment import SwitchPlan
+from repro.streaming.session import SessionConfig, SessionResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MissingResultError",
+    "code_version",
+    "config_to_dict",
+    "config_from_dict",
+    "pair_fingerprint",
+    "sweep_fingerprint",
+    "session_result_to_dict",
+    "session_result_from_dict",
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "StoreEntry",
+    "ResultStore",
+    "default_results_dir",
+]
+
+#: Bumped whenever the on-disk layout changes; part of every key, so a
+#: schema change silently invalidates old entries instead of misreading them.
+SCHEMA_VERSION: int = 1
+
+#: Environment variable consulted for the default store location.
+RESULTS_DIR_ENV: str = "REPRO_RESULTS_DIR"
+
+
+class MissingResultError(KeyError):
+    """A replay-only store was asked for a result it does not hold."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(key)
+        self.key = key
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"result {self.key!r} is not in the store; run the sweep without "
+            "--from-store (or with more workers) to populate it first"
+        )
+
+
+def code_version() -> str:
+    """The package version that keys store entries.
+
+    Imported lazily to avoid an import cycle during ``repro`` package
+    initialisation.
+    """
+    from repro import __version__
+
+    return __version__
+
+
+def default_results_dir() -> Optional[str]:
+    """The results directory named by ``REPRO_RESULTS_DIR`` (or ``None``)."""
+    value = os.environ.get(RESULTS_DIR_ENV, "").strip()
+    return value or None
+
+
+# --------------------------------------------------------------------------- #
+# configuration serialisation and fingerprints
+# --------------------------------------------------------------------------- #
+def config_to_dict(config: SessionConfig) -> Dict[str, Any]:
+    """JSON-friendly dictionary form of a :class:`SessionConfig`."""
+    return asdict(config)
+
+
+def config_from_dict(payload: Mapping[str, Any]) -> SessionConfig:
+    """Rebuild a :class:`SessionConfig` from :func:`config_to_dict` output."""
+    data = dict(payload)
+    churn = data.pop("churn", None)
+    if churn is not None:
+        data["churn"] = ChurnConfig(**dict(churn))
+    return SessionConfig(**data)
+
+
+def _stable_hash(payload: Mapping[str, Any]) -> str:
+    """Deterministic short hash of a JSON-serialisable mapping."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def pair_fingerprint(config: SessionConfig, *, version: Optional[str] = None) -> str:
+    """Stable store key of one paired run.
+
+    The key covers every :class:`SessionConfig` field except ``algorithm``
+    (a pair entry holds both algorithms), plus the seed (a config field)
+    and the code version.
+    """
+    cfg = config_to_dict(config)
+    cfg.pop("algorithm", None)
+    return "pair-" + _stable_hash(
+        {
+            "kind": "pair",
+            "schema": SCHEMA_VERSION,
+            "code_version": version if version is not None else code_version(),
+            "config": cfg,
+        }
+    )
+
+
+def sweep_fingerprint(
+    sizes: Sequence[int],
+    *,
+    dynamic: bool,
+    seed: int,
+    repetitions: int,
+    overrides: Optional[Mapping[str, Any]] = None,
+    pair_keys: Optional[Sequence[str]] = None,
+    version: Optional[str] = None,
+) -> str:
+    """Stable store key of one aggregated size sweep.
+
+    ``pair_keys`` should be the fingerprints of the sweep's constituent
+    pairs: they hash the *resolved* session configurations, so a change to
+    the experiment defaults rotates the sweep key in lockstep with the
+    pair keys even when the sweep-level parameters look unchanged.
+    """
+    return "sweep-" + _stable_hash(
+        {
+            "kind": "sweep",
+            "schema": SCHEMA_VERSION,
+            "code_version": version if version is not None else code_version(),
+            "sizes": [int(s) for s in sizes],
+            "dynamic": bool(dynamic),
+            "seed": int(seed),
+            "repetitions": int(repetitions),
+            "overrides": dict(sorted((overrides or {}).items())),
+            "pair_keys": list(pair_keys or []),
+        }
+    )
+
+
+# --------------------------------------------------------------------------- #
+# result serialisation
+# --------------------------------------------------------------------------- #
+def session_result_to_dict(result: SessionResult) -> Dict[str, Any]:
+    """JSON-friendly dictionary form of a full :class:`SessionResult`."""
+    return {
+        "config": config_to_dict(result.config),
+        "metrics": metrics_to_dict(result.metrics),
+        "switch_plan": asdict(result.switch_plan),
+        "n_peers": result.n_peers,
+        "n_rounds": result.n_rounds,
+        "average_degree": result.average_degree,
+        "overhead_ratio": result.overhead_ratio,
+        "overhead_series": [[t, v] for t, v in result.overhead_series],
+        "wallclock_seconds": result.wallclock_seconds,
+        "stop_reason": result.stop_reason,
+    }
+
+
+def session_result_from_dict(payload: Mapping[str, Any]) -> SessionResult:
+    """Rebuild a :class:`SessionResult` from :func:`session_result_to_dict`."""
+    return SessionResult(
+        config=config_from_dict(payload["config"]),
+        metrics=metrics_from_dict(payload["metrics"]),
+        switch_plan=SwitchPlan(**dict(payload["switch_plan"])),
+        n_peers=int(payload["n_peers"]),
+        n_rounds=int(payload["n_rounds"]),
+        average_degree=float(payload["average_degree"]),
+        overhead_ratio=float(payload["overhead_ratio"]),
+        overhead_series=[(float(t), float(v)) for t, v in payload["overhead_series"]],
+        wallclock_seconds=float(payload["wallclock_seconds"]),
+        stop_reason=str(payload["stop_reason"]),
+    )
+
+
+def sweep_to_dict(sweep: "SizeSweepResult") -> Dict[str, Any]:
+    """JSON-friendly dictionary form of a :class:`SizeSweepResult`."""
+    return {
+        "dynamic": sweep.dynamic,
+        "seed": sweep.seed,
+        "points": [asdict(point) for point in sweep.points],
+    }
+
+
+def sweep_from_dict(payload: Mapping[str, Any]) -> "SizeSweepResult":
+    """Rebuild a :class:`SizeSweepResult` from :func:`sweep_to_dict` output.
+
+    The round trip is exact: the rebuilt object compares equal to the
+    original (all fields are ints and floats, which ``json`` preserves
+    bit-identically).
+    """
+    from repro.experiments.sweeps import SizeSweepResult, SweepPoint
+
+    return SizeSweepResult(
+        dynamic=bool(payload["dynamic"]),
+        seed=int(payload["seed"]),
+        points=tuple(SweepPoint(**dict(point)) for point in payload["points"]),
+    )
+
+
+def _describe(document: Mapping[str, Any]) -> str:
+    """One-line human summary of a stored document (shown by ``store ls``)."""
+    kind = document.get("kind")
+    if kind == "pair":
+        cfg = document.get("config", {})
+        churn = cfg.get("churn") or {}
+        return (
+            f"n_nodes={cfg.get('n_nodes')} seed={cfg.get('seed')} "
+            f"dynamic={bool(churn.get('enabled', False))}"
+        )
+    if kind == "sweep":
+        params = document.get("params", {})
+        return (
+            f"sizes={params.get('sizes')} seed={params.get('seed')} "
+            f"repetitions={params.get('repetitions')} "
+            f"dynamic={params.get('dynamic')}"
+        )
+    return ""
+
+
+# --------------------------------------------------------------------------- #
+# the store
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StoreEntry:
+    """Summary of one stored document (what ``store ls`` prints)."""
+
+    key: str
+    kind: str
+    created: str
+    code_version: str
+    description: str
+    size_bytes: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Dictionary form used for table printing."""
+        return {
+            "key": self.key,
+            "kind": self.kind,
+            "created": self.created,
+            "code_version": self.code_version,
+            "size_bytes": self.size_bytes,
+            "description": self.description,
+        }
+
+
+class ResultStore:
+    """A directory of JSON result documents keyed by content fingerprints.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the documents (created on first use).
+    replay_only:
+        When true, consumers must find every result they need in the store;
+        :class:`MissingResultError` is raised instead of simulating.  Used
+        by ``repro-gossip figure --from-store``.
+
+    Writes are atomic (temp file + ``os.replace``) and keys are unique per
+    configuration, so concurrent writers -- e.g. parallel sweep workers on
+    a shared results directory -- cannot corrupt each other's entries.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]", *, replay_only: bool = False) -> None:
+        self.root = Path(root)
+        self.replay_only = bool(replay_only)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- low-level document access ------------------------------------- #
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of a key's document."""
+        return self.root / f"{key}.json"
+
+    def meta_path_for(self, key: str) -> Path:
+        """Path of a key's small metadata sidecar (what ``ls`` reads).
+
+        Pair documents at paper scale run to megabytes; the sidecar keeps
+        listing the store O(number of entries) instead of O(store bytes).
+        """
+        return self.root / f"{key}.meta.json"
+
+    def contains(self, key: str) -> bool:
+        """Whether the store holds a (readable) document for ``key``."""
+        return self.load(key) is not None
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` when absent.
+
+        Corrupt or unreadable documents are treated as misses rather than
+        errors: the result is simply recomputed and rewritten.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    def save(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Atomically persist ``payload`` under ``key`` and return its path.
+
+        A small metadata sidecar (see :meth:`meta_path_for`) is written
+        alongside the document so listings never have to parse the full
+        payload.
+        """
+        document = dict(payload)
+        document.setdefault("schema", SCHEMA_VERSION)
+        document.setdefault("key", key)
+        document.setdefault("code_version", code_version())
+        document.setdefault("created", datetime.now(timezone.utc).isoformat())
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(tmp, path)
+        self._write_meta(key, document)
+        return path
+
+    def _write_meta(self, key: str, document: Mapping[str, Any]) -> None:
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "kind": document.get("kind", "?"),
+            "created": document.get("created", ""),
+            "code_version": document.get("code_version", ""),
+            "description": _describe(document),
+        }
+        path = self.meta_path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(meta, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def missing(self, key: str) -> "MissingResultError":
+        """The error to raise for a miss in replay-only mode."""
+        return MissingResultError(key)
+
+    # -- pair documents -------------------------------------------------- #
+    def save_pair(
+        self, key: str, config: SessionConfig, normal: SessionResult, fast: SessionResult
+    ) -> Path:
+        """Persist one paired fast-vs-normal run under ``key``."""
+        return self.save(
+            key,
+            {
+                "kind": "pair",
+                "config": config_to_dict(config),
+                "normal": session_result_to_dict(normal),
+                "fast": session_result_to_dict(fast),
+            },
+        )
+
+    def load_pair(self, key: str) -> Optional[Tuple[SessionResult, SessionResult]]:
+        """The ``(normal, fast)`` results stored under ``key`` (or ``None``)."""
+        payload = self.load(key)
+        if payload is None or payload.get("kind") != "pair":
+            return None
+        return (
+            session_result_from_dict(payload["normal"]),
+            session_result_from_dict(payload["fast"]),
+        )
+
+    # -- sweep documents ------------------------------------------------- #
+    def save_sweep(self, key: str, sweep: "SizeSweepResult", params: Mapping[str, Any]) -> Path:
+        """Persist one aggregated size sweep under ``key``."""
+        return self.save(
+            key,
+            {"kind": "sweep", "params": dict(params), "sweep": sweep_to_dict(sweep)},
+        )
+
+    def load_sweep(self, key: str) -> Optional["SizeSweepResult"]:
+        """The aggregated sweep stored under ``key`` (or ``None``)."""
+        payload = self.load(key)
+        if payload is None or payload.get("kind") != "sweep":
+            return None
+        return sweep_from_dict(payload["sweep"])
+
+    #: Filename globs of the store's own documents.  ``keys``/``clear``
+    #: only ever touch these shapes, so pointing ``--results-dir`` at a
+    #: directory that also holds unrelated ``.json`` files is safe.
+    _DOCUMENT_GLOBS = ("pair-*.json", "sweep-*.json")
+
+    def _document_paths(self) -> List[Path]:
+        paths: List[Path] = []
+        for pattern in self._DOCUMENT_GLOBS:
+            paths.extend(
+                path for path in self.root.glob(pattern)
+                if not path.name.endswith(".meta.json")
+            )
+        return sorted(paths)
+
+    # -- maintenance ----------------------------------------------------- #
+    def keys(self) -> List[str]:
+        """All stored keys, sorted."""
+        return [path.stem for path in self._document_paths()]
+
+    def entries(self) -> List[StoreEntry]:
+        """One :class:`StoreEntry` per stored document (what ``ls`` shows).
+
+        Reads the small metadata sidecars, falling back to parsing the full
+        document only when a sidecar is missing (e.g. a store written by an
+        older version) or unreadable.
+        """
+        entries: List[StoreEntry] = []
+        for key in self.keys():
+            size = self.path_for(key).stat().st_size if self.path_for(key).exists() else 0
+            meta = self._load_meta(key)
+            if meta is None:
+                payload = self.load(key)
+                if payload is None:
+                    entries.append(
+                        StoreEntry(key=key, kind="corrupt", created="", code_version="",
+                                   description="unreadable document", size_bytes=size)
+                    )
+                    continue
+                self._write_meta(key, payload)  # heal the missing sidecar
+                meta = self._load_meta(key) or {}
+            entries.append(
+                StoreEntry(
+                    key=key,
+                    kind=str(meta.get("kind", "?")),
+                    created=str(meta.get("created", "")),
+                    code_version=str(meta.get("code_version", "")),
+                    description=str(meta.get("description", "")),
+                    size_bytes=size,
+                )
+            )
+        return entries
+
+    def _load_meta(self, key: str) -> Optional[Dict[str, Any]]:
+        try:
+            with self.meta_path_for(key).open("r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def clear(self) -> int:
+        """Delete every stored document; returns how many were removed.
+
+        Only the store's own documents (``pair-*``/``sweep-*`` and their
+        metadata sidecars) are touched; unrelated files in the directory
+        survive.  Sidecars are deleted too but not counted.
+        """
+        removed = 0
+        for path in self._document_paths():
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            sidecar = self.meta_path_for(path.stem)
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = ", replay_only=True" if self.replay_only else ""
+        return f"ResultStore({str(self.root)!r}{mode})"

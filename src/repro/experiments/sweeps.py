@@ -2,42 +2,80 @@
 
 A size sweep runs a paired fast-vs-normal comparison for every overlay size
 in the list.  Figures 6, 7 and 8 (and their dynamic counterparts 10, 11,
-12) all plot quantities of the *same* sweep, so the sweep result is cached
-in-process: the three figure generators -- and the three benchmark modules
--- share one set of simulations per parameterisation.
+12) all plot quantities of the *same* sweep, so the sweep result is shared
+at two levels:
+
+* **in-process** -- store-less sweeps are memoised (serial or parallel;
+  ``workers`` is not part of the key since results are bit-identical) so
+  the three figure generators (and the three benchmark modules) of one
+  parameterisation share one set of simulations;
+* **on disk** -- pass ``store=`` (a
+  :class:`~repro.experiments.store.ResultStore`) and every ``(size,
+  repetition)`` pair plus the aggregated sweep is persisted; repeated
+  invocations, figure regeneration and the benchmarks then replay from
+  disk instead of simulating.
+
+Pass ``workers > 1`` to fan the ``(size, repetition)`` pairs out over a
+process pool (see :mod:`repro.experiments.parallel`); the results are
+bit-identical to the serial path because every pair is independently and
+deterministically seeded with ``seed + repetition``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.config import make_session_config
-from repro.experiments.runner import PairedRunResult, run_pair
-from repro.metrics.report import ComparisonRow, reduction_ratio
+from repro.experiments.runner import PairedRunResult
+from repro.experiments.store import ResultStore
+from repro.metrics.report import reduction_ratio
 
 __all__ = ["SweepPoint", "SizeSweepResult", "run_size_sweep", "clear_sweep_cache"]
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """Aggregated results for one overlay size (averaged over repetitions)."""
+    """Aggregated results for one overlay size (averaged over repetitions).
+
+    The paper defines a peer's *switch time* as the time until it has
+    prepared the new source's startup window (Section 5.2: metric 1 is the
+    average preparing time of S2, and metric 2 -- the reduction ratio -- is
+    computed from it).  The switch-time columns are therefore *derived*
+    from the prepare times rather than stored separately; see
+    :attr:`normal_switch_time` and :attr:`fast_switch_time`.
+    """
 
     n_nodes: int
     normal_finish_old: float
     fast_finish_old: float
     fast_prepare_new: float
     normal_prepare_new: float
-    normal_switch_time: float
-    fast_switch_time: float
     reduction: float
     normal_overhead: float
     fast_overhead: float
     repetitions: int
 
+    @property
+    def normal_switch_time(self) -> float:
+        """Average switch time of the normal algorithm.
+
+        Identical to :attr:`normal_prepare_new` by the paper's definition
+        (the switch time *is* the preparing time of the new source).
+        """
+        return self.normal_prepare_new
+
+    @property
+    def fast_switch_time(self) -> float:
+        """Average switch time of the fast algorithm (= :attr:`fast_prepare_new`)."""
+        return self.fast_prepare_new
+
     def as_row(self) -> Dict[str, float | int]:
-        """Dictionary form used by reports and the CLI."""
+        """Dictionary form used by reports and the CLI.
+
+        The derived switch-time columns are included for convenience even
+        though they duplicate the prepare-time columns by definition.
+        """
         return {
             "n_nodes": self.n_nodes,
             "normal_finish_old": self.normal_finish_old,
@@ -91,8 +129,6 @@ def _aggregate(n_nodes: int, pairs: Sequence[PairedRunResult]) -> SweepPoint:
         fast_finish_old=mean([p.fast.metrics.avg_finish_old for p in pairs]),
         fast_prepare_new=fast_prepare,
         normal_prepare_new=normal_prepare,
-        normal_switch_time=normal_prepare,
-        fast_switch_time=fast_prepare,
         reduction=reduction_ratio(normal_prepare, fast_prepare),
         normal_overhead=mean([p.normal.overhead_ratio for p in pairs]),
         fast_overhead=mean([p.fast.overhead_ratio for p in pairs]),
@@ -100,29 +136,12 @@ def _aggregate(n_nodes: int, pairs: Sequence[PairedRunResult]) -> SweepPoint:
     )
 
 
-@lru_cache(maxsize=32)
-def _cached_sweep(
-    sizes: Tuple[int, ...],
-    dynamic: bool,
-    seed: int,
-    repetitions: int,
-    overrides_key: Tuple[Tuple[str, object], ...],
-) -> SizeSweepResult:
-    overrides = dict(overrides_key)
-    points: List[SweepPoint] = []
-    for n_nodes in sizes:
-        pairs: List[PairedRunResult] = []
-        for repetition in range(repetitions):
-            config = make_session_config(
-                n_nodes,
-                seed=seed + repetition,
-                dynamic=dynamic,
-                record_rounds=False,
-                **overrides,
-            )
-            pairs.append(run_pair(config))
-        points.append(_aggregate(n_nodes, pairs))
-    return SizeSweepResult(dynamic=dynamic, seed=seed, points=tuple(points))
+#: In-process memo of store-less sweeps (bounded LRU).  ``workers`` is
+#: deliberately *not* part of the key: the parallel path is bit-identical
+#: to the serial one, so figures 6/7/8 (and 10/11/12) share one sweep per
+#: parameterisation regardless of how each generator was invoked.
+_MEMO_LIMIT = 32
+_sweep_memo: "OrderedDict[tuple, SizeSweepResult]" = OrderedDict()
 
 
 def run_size_sweep(
@@ -132,8 +151,10 @@ def run_size_sweep(
     seed: int = 0,
     repetitions: int = 1,
     overrides: Optional[Dict[str, object]] = None,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> SizeSweepResult:
-    """Run (or fetch from cache) a paired size sweep.
+    """Run (or fetch from cache/store) a paired size sweep.
 
     Parameters
     ----------
@@ -148,13 +169,39 @@ def run_size_sweep(
         traces per size; use >= 3 for paper-grade numbers).
     overrides:
         Extra :class:`SessionConfig` overrides applied to every run.
+    workers:
+        Process-pool width for the ``(size, repetition)`` fan-out; ``1``
+        (the default) runs serially in-process.  Results are bit-identical
+        either way.
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`; completed
+        pairs and the aggregated sweep are persisted there and replayed on
+        subsequent invocations.
     """
+    from repro.experiments.parallel import ParallelSweepRunner
+
     overrides = dict(overrides or {})
-    overrides_key = tuple(sorted(overrides.items()))
-    return _cached_sweep(tuple(int(s) for s in sizes), bool(dynamic), int(seed),
-                         int(repetitions), overrides_key)
+    if store is not None:
+        # Persistence supersedes the in-process memo: the store already
+        # deduplicates across invocations (and processes).
+        return ParallelSweepRunner(workers=workers, store=store).run(
+            sizes, dynamic=dynamic, seed=seed, repetitions=repetitions, overrides=overrides
+        )
+    key = (tuple(int(s) for s in sizes), bool(dynamic), int(seed), int(repetitions),
+           tuple(sorted(overrides.items())))
+    cached = _sweep_memo.get(key)
+    if cached is not None:
+        _sweep_memo.move_to_end(key)
+        return cached
+    result = ParallelSweepRunner(workers=workers).run(
+        sizes, dynamic=dynamic, seed=seed, repetitions=repetitions, overrides=overrides
+    )
+    _sweep_memo[key] = result
+    if len(_sweep_memo) > _MEMO_LIMIT:
+        _sweep_memo.popitem(last=False)
+    return result
 
 
 def clear_sweep_cache() -> None:
-    """Drop all cached sweeps (used by tests)."""
-    _cached_sweep.cache_clear()
+    """Drop all in-process cached sweeps (used by tests)."""
+    _sweep_memo.clear()

@@ -1,20 +1,30 @@
-"""Result comparison and plain-text tables.
+"""Result comparison, plain-text tables and metric serialisation.
 
 The benchmark harness prints, for every figure it regenerates, the same
 rows/series the paper reports.  This module provides the small amount of
 shared formatting machinery: pairwise comparison of a fast-switch run with
 a normal-switch run (reduction ratio, Figure 7/11) and fixed-width text
-tables.
+tables.  It also owns the JSON-friendly (de)serialisation of
+:class:`~repro.metrics.collectors.SwitchMetrics`, used by the persistent
+result store (:mod:`repro.experiments.store`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-from repro.metrics.collectors import SwitchMetrics
+from repro.metrics.collectors import PeerOutcome, RoundSample, SwitchMetrics
 
-__all__ = ["reduction_ratio", "ComparisonRow", "compare_metrics", "format_table", "format_series"]
+__all__ = [
+    "reduction_ratio",
+    "ComparisonRow",
+    "compare_metrics",
+    "format_table",
+    "format_series",
+    "metrics_to_dict",
+    "metrics_from_dict",
+]
 
 
 def reduction_ratio(normal_value: float, fast_value: float) -> float:
@@ -74,6 +84,24 @@ def compare_metrics(
         normal_overhead=normal.overhead_ratio,
         fast_overhead=fast.overhead_ratio,
     )
+
+
+def metrics_to_dict(metrics: SwitchMetrics) -> Dict[str, Any]:
+    """JSON-friendly dictionary form of a :class:`SwitchMetrics` summary.
+
+    The nested :class:`RoundSample` and :class:`PeerOutcome` records become
+    plain dictionaries; :func:`metrics_from_dict` restores the exact
+    original (floats round-trip bit-identically through ``json``).
+    """
+    return asdict(metrics)
+
+
+def metrics_from_dict(payload: Mapping[str, Any]) -> SwitchMetrics:
+    """Rebuild a :class:`SwitchMetrics` from :func:`metrics_to_dict` output."""
+    data = dict(payload)
+    data["rounds"] = [RoundSample(**dict(sample)) for sample in data.get("rounds", [])]
+    data["outcomes"] = [PeerOutcome(**dict(outcome)) for outcome in data.get("outcomes", [])]
+    return SwitchMetrics(**data)
 
 
 def format_table(

@@ -47,7 +47,7 @@ class RandomStreams:
     >>> streams = RandomStreams(seed=7)
     >>> a = streams.get("bandwidth").integers(0, 100, size=3)
     >>> b = RandomStreams(seed=7).get("bandwidth").integers(0, 100, size=3)
-    >>> (a == b).all()
+    >>> bool((a == b).all())
     True
     """
 

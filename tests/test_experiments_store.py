@@ -1,0 +1,192 @@
+"""Tests for the persistent result store and its serialisation."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import run_pair
+from repro.experiments.store import (
+    MissingResultError,
+    ResultStore,
+    config_from_dict,
+    config_to_dict,
+    pair_fingerprint,
+    session_result_from_dict,
+    session_result_to_dict,
+    sweep_fingerprint,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.experiments.sweeps import clear_sweep_cache, run_size_sweep
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+def _tiny(n=36, seed=2, **overrides):
+    overrides.setdefault("max_time", 70.0)
+    overrides.setdefault("old_stream_segments", 400)
+    overrides.setdefault("lookahead", 120)
+    return make_session_config(n, seed=seed, **overrides)
+
+
+OVERRIDES = {"max_time": 70.0, "old_stream_segments": 400, "lookahead": 120}
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints and config serialisation
+# --------------------------------------------------------------------------- #
+def test_config_round_trips_through_dict():
+    config = _tiny(dynamic=True)
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt == config
+
+
+def test_pair_fingerprint_is_stable_and_algorithm_insensitive():
+    config = _tiny()
+    assert pair_fingerprint(config) == pair_fingerprint(config)
+    # a pair holds both algorithms, so the key must not depend on the field
+    assert pair_fingerprint(config.with_algorithm("normal")) == pair_fingerprint(config)
+
+
+def test_pair_fingerprint_changes_with_seed_config_and_version():
+    config = _tiny()
+    assert pair_fingerprint(_tiny(seed=3)) != pair_fingerprint(config)
+    assert pair_fingerprint(_tiny(n=40)) != pair_fingerprint(config)
+    assert pair_fingerprint(config, version="other") != pair_fingerprint(config)
+
+
+def test_sweep_fingerprint_covers_all_parameters():
+    base = sweep_fingerprint([30, 40], dynamic=False, seed=0, repetitions=1)
+    assert sweep_fingerprint([30, 40], dynamic=False, seed=0, repetitions=1) == base
+    assert sweep_fingerprint([30], dynamic=False, seed=0, repetitions=1) != base
+    assert sweep_fingerprint([30, 40], dynamic=True, seed=0, repetitions=1) != base
+    assert sweep_fingerprint([30, 40], dynamic=False, seed=1, repetitions=1) != base
+    assert sweep_fingerprint([30, 40], dynamic=False, seed=0, repetitions=2) != base
+    assert sweep_fingerprint([30, 40], dynamic=False, seed=0, repetitions=1,
+                             overrides={"max_time": 70.0}) != base
+    # constituent pair keys rotate the sweep key (defaults changes propagate)
+    assert sweep_fingerprint([30, 40], dynamic=False, seed=0, repetitions=1,
+                             pair_keys=["pair-abc", "pair-def"]) != base
+
+
+# --------------------------------------------------------------------------- #
+# result serialisation
+# --------------------------------------------------------------------------- #
+def test_session_result_round_trips_exactly():
+    pair = run_pair(_tiny())
+    for result in (pair.normal, pair.fast):
+        rebuilt = session_result_from_dict(
+            json.loads(json.dumps(session_result_to_dict(result)))
+        )
+        assert rebuilt.config == result.config
+        assert rebuilt.metrics == result.metrics
+        assert rebuilt.switch_plan == result.switch_plan
+        assert rebuilt.overhead_ratio == result.overhead_ratio
+        assert rebuilt.overhead_series == result.overhead_series
+        assert rebuilt.n_peers == result.n_peers
+        assert rebuilt.n_rounds == result.n_rounds
+        assert rebuilt.stop_reason == result.stop_reason
+
+
+def test_sweep_round_trips_exactly_through_json():
+    sweep = run_size_sweep([30, 36], seed=1, repetitions=2, overrides=OVERRIDES)
+    rebuilt = sweep_from_dict(json.loads(json.dumps(sweep_to_dict(sweep))))
+    assert rebuilt == sweep  # bit-identical floats, exact dataclass equality
+
+
+# --------------------------------------------------------------------------- #
+# the store itself
+# --------------------------------------------------------------------------- #
+def test_store_save_load_pair(tmp_path):
+    store = ResultStore(tmp_path)
+    config = _tiny()
+    pair = run_pair(config, store=store)
+    key = pair_fingerprint(config)
+    assert store.contains(key)
+    loaded = store.load_pair(key)
+    assert loaded is not None
+    normal, fast = loaded
+    assert normal.metrics == pair.normal.metrics
+    assert fast.metrics == pair.fast.metrics
+
+
+def test_run_pair_replays_from_store_without_simulating(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path)
+    config = _tiny()
+    first = run_pair(config, store=store)
+
+    import repro.experiments.runner as runner_module
+
+    def _boom(config):
+        raise AssertionError("simulated despite a warm store")
+
+    monkeypatch.setattr(runner_module, "run_single", _boom)
+    second = run_pair(config, store=store)
+    assert second.normal.metrics == first.normal.metrics
+    assert second.fast.metrics == first.fast.metrics
+
+
+def test_replay_only_store_raises_on_miss(tmp_path):
+    store = ResultStore(tmp_path, replay_only=True)
+    with pytest.raises(MissingResultError):
+        run_pair(_tiny(), store=store)
+
+
+def test_corrupt_documents_are_treated_as_misses(tmp_path):
+    store = ResultStore(tmp_path)
+    key = pair_fingerprint(_tiny())
+    store.path_for(key).write_text("{not json", encoding="utf-8")
+    assert store.load(key) is None
+    assert not store.contains(key)
+    # entries() still lists (and labels) the unreadable document
+    kinds = [entry.kind for entry in store.entries()]
+    assert kinds == ["corrupt"]
+
+
+def test_store_entries_and_clear(tmp_path):
+    store = ResultStore(tmp_path)
+    run_size_sweep([30], seed=2, repetitions=1, overrides=OVERRIDES, store=store)
+    entries = store.entries()
+    assert sorted(entry.kind for entry in entries) == ["pair", "sweep"]
+    assert all(entry.size_bytes > 0 for entry in entries)
+    assert len(store) == 2
+    assert store.clear() == 2
+    assert len(store) == 0
+
+
+def test_clear_leaves_unrelated_files_alone(tmp_path):
+    store = ResultStore(tmp_path)
+    unrelated = tmp_path / "notes.json"
+    unrelated.write_text("{}", encoding="utf-8")
+    run_size_sweep([30], seed=2, repetitions=1, overrides=OVERRIDES, store=store)
+    assert "notes" not in store.keys()  # foreign .json files are not entries
+    assert store.clear() == 2
+    assert unrelated.exists()  # only pair-*/sweep-* documents were deleted
+
+
+def test_sweep_through_store_replays_exactly(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path)
+    kwargs = dict(seed=2, repetitions=2, overrides=OVERRIDES)
+    first = run_size_sweep([30, 36], store=store, **kwargs)
+
+    import repro.experiments.runner as runner_module
+
+    monkeypatch.setattr(
+        runner_module, "run_single",
+        lambda config: (_ for _ in ()).throw(AssertionError("re-simulated")),
+    )
+    second = run_size_sweep([30, 36], store=store, **kwargs)
+    assert second == first
+
+    # even with the aggregated sweep entry removed, the pairs replay
+    for key in store.keys():
+        if key.startswith("sweep-"):
+            store.path_for(key).unlink()
+    third = run_size_sweep([30, 36], store=store, **kwargs)
+    assert third == first
