@@ -27,6 +27,10 @@ Layout
     Metric collection, communication-overhead accounting, reports.
 :mod:`repro.experiments`
     Experiment configurations, runners, sweeps and per-figure generators.
+:mod:`repro.workloads`
+    The time-scripted workload engine: declarative multi-switch zapping,
+    churn-burst and bandwidth-regime scenarios over heterogeneous peer
+    classes, executed paired and store-backed.
 
 Quickstart
 ----------
@@ -47,8 +51,9 @@ from repro.experiments.config import make_session_config
 from repro.experiments.figures import generate_figure
 from repro.experiments.runner import run_pair, run_single
 from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
+from repro.workloads import Phase, WorkloadSpec, get_workload, run_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -63,4 +68,8 @@ __all__ = [
     "run_single",
     "run_pair",
     "generate_figure",
+    "WorkloadSpec",
+    "Phase",
+    "get_workload",
+    "run_workload",
 ]

@@ -9,9 +9,11 @@ population.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.sim.clock import round_half_up
 
 __all__ = ["ChurnConfig", "ChurnPlan", "ChurnModel"]
 
@@ -83,20 +85,34 @@ class ChurnModel:
         self.total_leaves = 0
         self.total_joins = 0
 
-    def plan_round(self, eligible_ids: Sequence[int]) -> ChurnPlan:
+    def plan_round(
+        self,
+        eligible_ids: Sequence[int],
+        *,
+        leave_fraction: Optional[float] = None,
+        join_fraction: Optional[float] = None,
+    ) -> ChurnPlan:
         """Decide which of ``eligible_ids`` leave and how many peers join.
 
         The expected number of leavers (joiners) is ``leave_fraction``
         (``join_fraction``) times the eligible population; the realised
-        count is the rounded expectation, so small populations still churn
-        every few periods rather than never.
+        count is ``floor(expectation + 0.5)`` -- round-half-up rather than
+        Python's banker's rounding, so a 10-peer population at 5 % churn
+        loses one peer per period instead of zero.
+
+        ``leave_fraction`` / ``join_fraction`` override the configured
+        intensities for this round only (the workload engine's churn
+        bursts); passing overrides activates churn even when the configured
+        model is disabled.
         """
-        if not self.config.enabled or not eligible_ids:
+        overridden = leave_fraction is not None or join_fraction is not None
+        if (not self.config.enabled and not overridden) or not eligible_ids:
             return ChurnPlan()
+        leave = self.config.leave_fraction if leave_fraction is None else float(leave_fraction)
+        join = self.config.join_fraction if join_fraction is None else float(join_fraction)
         population = len(eligible_ids)
-        n_leave = int(round(self.config.leave_fraction * population))
-        n_join = int(round(self.config.join_fraction * population))
-        n_leave = min(n_leave, population)
+        n_leave = min(round_half_up(leave * population), population)
+        n_join = round_half_up(join * population)
         leavers: List[int] = []
         if n_leave > 0:
             picked = self._rng.choice(population, size=n_leave, replace=False)

@@ -27,8 +27,16 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
 ``compare``
     Run a paired fast-vs-normal comparison and print the reduction ratio.
 
+``workload ls`` / ``workload run NAME`` / ``workload compare NAME``
+    The time-scripted workload engine: list the named workloads, run one
+    (paired fast-vs-normal, store-backed, parallel over ``--repetitions``
+    with ``--workers``), or print the paired switch-time comparison.
+    ``--from-store`` forbids simulation (pure replay).
+
 ``scenario NAME``
-    Run one of the named example scenarios.
+    Run one of the named example scenarios -- thin wrappers over workload
+    specs, executed through the same engine (store-backed; ``--compare``
+    prints the switch-time reduction).
 
 ``trace``
     Generate a synthetic clip2/DSS-style overlay trace file.
@@ -47,12 +55,15 @@ from typing import List, Optional, Sequence
 from repro.experiments.config import make_session_config, sweep_sizes
 from repro.experiments.figures import FIGURE_GENERATORS, generate_figure
 from repro.experiments.runner import run_pair, run_single
-from repro.experiments.scenarios import SCENARIOS, scenario_config
+from repro.experiments.scenarios import SCENARIOS
 from repro.experiments.store import MissingResultError, ResultStore, default_results_dir
 from repro.experiments.sweeps import run_size_sweep
 from repro.metrics.report import format_table
 from repro.overlay.generator import generate_trace
 from repro.overlay.trace import write_trace
+from repro.workloads.library import WORKLOADS, get_workload, workload_names
+from repro.workloads.runner import WorkloadResult, run_workload
+from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["main", "build_parser"]
 
@@ -167,11 +178,44 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--max-time", type=float, default=120.0)
     cmp_parser.add_argument("--json", action="store_true")
 
+    workload = sub.add_parser(
+        "workload", help="list or run the time-scripted workloads"
+    )
+    workload_sub = workload.add_subparsers(dest="workload_command", required=True)
+    workload_ls = workload_sub.add_parser("ls", help="list the named workloads")
+    workload_ls.add_argument("--json", action="store_true")
+    for verb, verb_help in (
+        ("run", "run a named workload (paired fast-vs-normal)"),
+        ("compare", "run a named workload and print the paired comparison"),
+    ):
+        workload_run = workload_sub.add_parser(verb, help=verb_help)
+        workload_run.add_argument("name", choices=workload_names())
+        workload_run.add_argument("--seed", type=int, default=0)
+        workload_run.add_argument("--n-nodes", type=_positive_int, default=None,
+                                  help="override the workload's overlay size")
+        workload_run.add_argument("--repetitions", type=_positive_int, default=1,
+                                  help="independent repetitions (seed, seed+1, ...)")
+        workload_run.add_argument("--workers", type=_positive_int, default=1,
+                                  help="worker processes; bit-identical to --workers 1")
+        workload_run.add_argument("--from-store", action="store_true",
+                                  help="replay from the result store only; never simulate")
+        workload_run.add_argument("--compare", action="store_true",
+                                  help="print only the paired switch-time comparison")
+        workload_run.add_argument("--json", action="store_true")
+        _add_store_arguments(workload_run)
+
     scen = sub.add_parser("scenario", help="run a named example scenario")
     scen.add_argument("name", choices=sorted(SCENARIOS))
-    scen.add_argument("--algorithm", choices=["fast", "normal"], default="fast")
     scen.add_argument("--seed", type=int, default=0)
+    scen.add_argument("--repetitions", type=_positive_int, default=1)
+    scen.add_argument("--workers", type=_positive_int, default=1,
+                      help="worker processes; bit-identical to --workers 1")
+    scen.add_argument("--from-store", action="store_true",
+                      help="replay from the result store only; never simulate")
+    scen.add_argument("--compare", action="store_true",
+                      help="print only the paired switch-time comparison")
     scen.add_argument("--json", action="store_true")
+    _add_store_arguments(scen)
 
     trace = sub.add_parser("trace", help="generate a synthetic overlay trace file")
     trace.add_argument("path", help="output file path")
@@ -321,19 +365,97 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenario(args: argparse.Namespace) -> int:
-    config = scenario_config(args.name, algorithm=args.algorithm, seed=args.seed)
-    result = run_single(config)
-    rows = _metrics_rows(result)
-    scenario = SCENARIOS[args.name]
+def _workload_payload(result: WorkloadResult) -> dict:
+    """Machine-readable form of a workload run (the ``--json`` output)."""
+    return {
+        "workload": result.spec.name,
+        "n_nodes": result.spec.n_nodes,
+        "n_switches": result.spec.n_switches,
+        "seed": result.seed,
+        "repetitions": result.repetitions,
+        "simulated": result.simulated,
+        "replayed": result.replayed,
+        "mean_reduction": result.mean_reduction,
+        "switch_rows": result.switch_rows(),
+        "class_rows": result.class_rows(),
+        "phase_rows": result.phase_rows(),
+    }
+
+
+def _print_workload_result(result: WorkloadResult, *, compare_only: bool) -> None:
+    spec = result.spec
+    print(f"workload: {spec.name} -- {spec.description}")
+    print(
+        f"n_nodes={spec.n_nodes} switches={spec.n_switches} "
+        f"phases={len(spec.phases)} repetitions={result.repetitions} "
+        f"(simulated {result.simulated}, replayed {result.replayed})"
+    )
+    print()
+    print(format_table(result.switch_rows()))
+    if not compare_only:
+        class_rows = result.class_rows()
+        if class_rows:
+            print()
+            print("per-class switch-time percentiles (s):")
+            print(format_table(class_rows))
+        print()
+        print("per-phase playback quality (fast algorithm):")
+        print(format_table(result.phase_rows()))
+    print(f"\nmean switch-time reduction: {result.mean_reduction:.1%}")
+
+
+def _run_workload_spec(spec: WorkloadSpec, args: argparse.Namespace) -> int:
+    """Shared execution path of ``workload run|compare`` and ``scenario``."""
+    store = _resolve_store(args, replay_only=args.from_store, required=args.from_store)
+    if getattr(args, "n_nodes", None) is not None:
+        spec = spec.scaled_to(args.n_nodes)
+    try:
+        result = run_workload(
+            spec,
+            seed=args.seed,
+            repetitions=args.repetitions,
+            workers=args.workers,
+            store=store,
+        )
+    except MissingResultError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if args.json:
-        payload = {row["metric"]: row["value"] for row in rows}
-        payload["scenario"] = scenario.name
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(_workload_payload(result), indent=2))
     else:
-        print(f"scenario: {scenario.name} -- {scenario.description}")
-        print(format_table(rows, ["metric", "value"]))
+        _print_workload_result(result, compare_only=args.compare)
+        if store is not None:
+            print(f"results persisted under {store.root}")
     return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    if args.workload_command == "ls":
+        rows = [
+            {
+                "name": spec.name,
+                "n_nodes": spec.n_nodes,
+                "switches": spec.n_switches,
+                "phases": " -> ".join(phase.name for phase in spec.phases),
+                "classes": ",".join(cls.name for cls in spec.peer_classes) or "-",
+                "duration_s": spec.total_duration,
+            }
+            for _, spec in sorted(WORKLOADS.items())
+        ]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_table(rows))
+        return 0
+    if args.workload_command == "compare":
+        args.compare = True
+    return _run_workload_spec(get_workload(args.name), args)
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    scenario = SCENARIOS[args.name]
+    print(f"scenario: {scenario.name} -- {scenario.description}", file=sys.stderr)
+    return _run_workload_spec(scenario.spec(), args)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -350,6 +472,7 @@ _COMMANDS = {
     "store": _cmd_store,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "workload": _cmd_workload,
     "scenario": _cmd_scenario,
     "trace": _cmd_trace,
 }

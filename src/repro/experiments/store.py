@@ -51,6 +51,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.churn.model import ChurnConfig
 from repro.metrics.report import metrics_from_dict, metrics_to_dict
+from repro.streaming.bandwidth import PeerClass
 from repro.streaming.segment import SwitchPlan
 from repro.streaming.session import SessionConfig, SessionResult
 
@@ -58,6 +59,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "MissingResultError",
     "code_version",
+    "stable_hash",
     "config_to_dict",
     "config_from_dict",
     "pair_fingerprint",
@@ -88,8 +90,8 @@ class MissingResultError(KeyError):
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"result {self.key!r} is not in the store; run the sweep without "
-            "--from-store (or with more workers) to populate it first"
+            f"result {self.key!r} is not in the store; run the same command "
+            "without --from-store (or with more workers) to populate it first"
         )
 
 
@@ -124,13 +126,24 @@ def config_from_dict(payload: Mapping[str, Any]) -> SessionConfig:
     churn = data.pop("churn", None)
     if churn is not None:
         data["churn"] = ChurnConfig(**dict(churn))
+    classes = data.pop("peer_classes", None)
+    if classes:
+        data["peer_classes"] = tuple(PeerClass(**dict(cls)) for cls in classes)
     return SessionConfig(**data)
 
 
-def _stable_hash(payload: Mapping[str, Any]) -> str:
-    """Deterministic short hash of a JSON-serialisable mapping."""
+def stable_hash(payload: Mapping[str, Any]) -> str:
+    """Deterministic short hash of a JSON-serialisable mapping.
+
+    Used for every store key; exposed so higher layers (e.g. the workload
+    engine) can fingerprint their own document kinds consistently.
+    """
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+#: Backwards-compatible private alias (pre-workload callers).
+_stable_hash = stable_hash
 
 
 def pair_fingerprint(config: SessionConfig, *, version: Optional[str] = None) -> str:
@@ -260,6 +273,11 @@ def _describe(document: Mapping[str, Any]) -> str:
             f"sizes={params.get('sizes')} seed={params.get('seed')} "
             f"repetitions={params.get('repetitions')} "
             f"dynamic={params.get('dynamic')}"
+        )
+    if kind == "workload":
+        return (
+            f"workload={document.get('workload')} seed={document.get('seed')} "
+            f"n_nodes={document.get('n_nodes')}"
         )
     return ""
 
@@ -409,6 +427,25 @@ class ResultStore:
             session_result_from_dict(payload["fast"]),
         )
 
+    # -- workload documents ----------------------------------------------- #
+    def save_workload(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Persist one workload-repetition document under ``key``.
+
+        ``payload`` is the JSON form produced by the workload engine
+        (:mod:`repro.workloads.runner`); the store only stamps the common
+        envelope fields, keeping this module free of workload imports.
+        """
+        document = dict(payload)
+        document["kind"] = "workload"
+        return self.save(key, document)
+
+    def load_workload(self, key: str) -> Optional[Dict[str, Any]]:
+        """The workload document stored under ``key`` (or ``None``)."""
+        payload = self.load(key)
+        if payload is None or payload.get("kind") != "workload":
+            return None
+        return payload
+
     # -- sweep documents ------------------------------------------------- #
     def save_sweep(self, key: str, sweep: "SizeSweepResult", params: Mapping[str, Any]) -> Path:
         """Persist one aggregated size sweep under ``key``."""
@@ -427,7 +464,7 @@ class ResultStore:
     #: Filename globs of the store's own documents.  ``keys``/``clear``
     #: only ever touch these shapes, so pointing ``--results-dir`` at a
     #: directory that also holds unrelated ``.json`` files is safe.
-    _DOCUMENT_GLOBS = ("pair-*.json", "sweep-*.json")
+    _DOCUMENT_GLOBS = ("pair-*.json", "sweep-*.json", "workload-*.json")
 
     def _document_paths(self) -> List[Path]:
         paths: List[Path] = []

@@ -20,6 +20,13 @@ Supplementary
 
 from repro.metrics.collectors import MetricsCollector, PeerOutcome, RoundSample, SwitchMetrics
 from repro.metrics.overhead import OverheadAccountant
+from repro.metrics.qoe import (
+    ClassSwitchStats,
+    PhaseQoE,
+    continuity_index,
+    per_class_switch_stats,
+    phase_qoe,
+)
 from repro.metrics.report import (
     ComparisonRow,
     compare_metrics,
@@ -33,6 +40,11 @@ __all__ = [
     "RoundSample",
     "SwitchMetrics",
     "OverheadAccountant",
+    "PhaseQoE",
+    "ClassSwitchStats",
+    "phase_qoe",
+    "per_class_switch_stats",
+    "continuity_index",
     "ComparisonRow",
     "compare_metrics",
     "format_table",

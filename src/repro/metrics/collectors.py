@@ -44,8 +44,13 @@ class PeerOutcome:
         (``max`` of the two conditions).
     stalls:
         Old-stream playback stalls experienced after the switch instant.
+    stalls_new:
+        New-stream playback stalls (post-switch continuity losses).
     segments_received:
         Total segments delivered to the peer during the measured window.
+    peer_class:
+        Bandwidth-class label of the peer (empty when the population is
+        homogeneous); feeds the per-class workload metrics.
     """
 
     node_id: int
@@ -54,12 +59,20 @@ class PeerOutcome:
     prepared_new_time: Optional[float]
     switch_complete_time: Optional[float]
     stalls: int = 0
+    stalls_new: int = 0
     segments_received: int = 0
+    peer_class: str = ""
 
 
 @dataclass(frozen=True)
 class RoundSample:
-    """System-wide averages at the end of one scheduling period."""
+    """System-wide averages at the end of one scheduling period.
+
+    ``cumulative_stalls`` is the running total of stall periods over all
+    tracked peers and both streams; differencing it between two samples
+    gives the stalls incurred in that window (the per-phase continuity
+    accounting of the workload engine).
+    """
 
     time: float
     undelivered_ratio_old: float
@@ -68,6 +81,7 @@ class RoundSample:
     fraction_prepared_new: float
     fraction_switched: float
     tracked_peers: int
+    cumulative_stalls: int = 0
 
 
 @dataclass
@@ -111,13 +125,22 @@ class MetricsCollector:
         self.rounds: List[RoundSample] = []
 
     # ------------------------------------------------------------------ #
-    def sample_round(self, time: float, peers: Sequence) -> RoundSample:
+    def sample_round(
+        self, time: float, peers: Sequence, departed_stalls: int = 0
+    ) -> RoundSample:
         """Record system-wide averages over the tracked ``peers``.
 
         ``peers`` are :class:`repro.streaming.peer.PeerNode` objects (typed
         loosely to keep this module free of simulator imports for testing).
+        ``departed_stalls`` is the frozen stall total of tracked peers that
+        have already left through churn; folding it in keeps
+        ``cumulative_stalls`` monotone under departures (a leaver's stall
+        history must not vanish from the continuity accounting).  The
+        session maintains it as a counter at removal time, so sampling
+        stays O(alive peers).
         """
         tracked = [p for p in peers if getattr(p, "tracked", True)]
+        departed_stalls = int(departed_stalls)
         if not tracked:
             sample = RoundSample(
                 time=float(time),
@@ -127,6 +150,7 @@ class MetricsCollector:
                 fraction_prepared_new=1.0,
                 fraction_switched=1.0,
                 tracked_peers=0,
+                cumulative_stalls=departed_stalls,
             )
             self.rounds.append(sample)
             return sample
@@ -136,7 +160,9 @@ class MetricsCollector:
         finished = 0
         prepared = 0
         switched = 0
+        stalls = departed_stalls
         for peer in tracked:
+            stalls += int(getattr(peer, "total_stalls", 0))
             q0 = peer.q0 if peer.q0 else 0
             if q0 > 0:
                 undelivered.append(peer.undelivered_old() / q0)
@@ -159,6 +185,7 @@ class MetricsCollector:
             fraction_prepared_new=prepared / count,
             fraction_switched=switched / count,
             tracked_peers=count,
+            cumulative_stalls=stalls,
         )
         self.rounds.append(sample)
         return sample
@@ -196,7 +223,13 @@ class MetricsCollector:
                     prepared_new_time=prepare,
                     switch_complete_time=start,
                     stalls=peer.playback_old.stall_periods if peer.playback_old else 0,
+                    stalls_new=(
+                        peer.playback_new.stall_periods
+                        if getattr(peer, "playback_new", None) is not None
+                        else 0
+                    ),
                     segments_received=peer.segments_received_total,
+                    peer_class=str(getattr(peer, "peer_class", "")),
                 )
             )
 

@@ -22,7 +22,7 @@ laptop-scale runs of thousands of peers tractable (see the scaling notes in
 ``DESIGN.md``).
 """
 
-from repro.sim.clock import SimulationClock
+from repro.sim.clock import SimulationClock, round_half_up
 from repro.sim.engine import SimulationEngine, StopSimulation
 from repro.sim.events import Event, EventQueue
 from repro.sim.process import PeriodicProcess
@@ -30,6 +30,7 @@ from repro.sim.rng import RandomStreams, derive_seed
 
 __all__ = [
     "SimulationClock",
+    "round_half_up",
     "SimulationEngine",
     "StopSimulation",
     "Event",

@@ -9,6 +9,28 @@ at negative times when a simulated warm-up is requested.
 
 from __future__ import annotations
 
+import math
+
+
+def round_half_up(value: float) -> int:
+    """Deterministic round-half-up: ``floor(value + 0.5)``.
+
+    The simulator's single rounding policy for turning expectations and
+    time ratios into whole counts (churn sizes, periods per phase, period
+    indices).  Python's ``round`` uses banker's rounding (``round(0.5) ==
+    0``), which makes small populations churn never and is sensitive to
+    the parity of the integral part; this policy is monotone in ``value``
+    and therefore safe to reproduce across call sites.
+
+    Examples
+    --------
+    >>> round_half_up(0.5), round_half_up(1.5), round_half_up(2.5)
+    (1, 2, 3)
+    >>> round_half_up(0.49)
+    0
+    """
+    return math.floor(value + 0.5)
+
 
 class ClockError(RuntimeError):
     """Raised when the clock would be moved backwards."""

@@ -39,7 +39,13 @@ Modules
     The two-source switch session driving a whole simulation run.
 """
 
-from repro.streaming.bandwidth import BandwidthProfile, OutboundLedger, sample_rates
+from repro.streaming.bandwidth import (
+    BandwidthProfile,
+    OutboundLedger,
+    PeerClass,
+    draw_class_indices,
+    sample_rates,
+)
 from repro.streaming.buffer import SegmentBuffer
 from repro.streaming.buffermap import BufferMapSnapshot, buffer_map_bits
 from repro.streaming.peer import PeerNode
@@ -50,7 +56,12 @@ from repro.streaming.protocol import (
     SegmentRequestMessage,
 )
 from repro.streaming.segment import StreamSpec, SwitchPlan
-from repro.streaming.session import SessionResult, SwitchSession
+from repro.streaming.session import (
+    PeriodDirective,
+    SessionResult,
+    SwitchSession,
+    build_session_overlay,
+)
 from repro.streaming.source import SourceNode
 
 __all__ = [
@@ -61,6 +72,8 @@ __all__ = [
     "buffer_map_bits",
     "BandwidthProfile",
     "OutboundLedger",
+    "PeerClass",
+    "draw_class_indices",
     "sample_rates",
     "BufferMapExchange",
     "SegmentRequestMessage",
@@ -70,4 +83,6 @@ __all__ = [
     "PeerNode",
     "SwitchSession",
     "SessionResult",
+    "PeriodDirective",
+    "build_session_overlay",
 ]

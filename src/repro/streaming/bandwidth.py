@@ -21,11 +21,17 @@ request order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["BandwidthProfile", "sample_rates", "OutboundLedger"]
+__all__ = [
+    "BandwidthProfile",
+    "PeerClass",
+    "draw_class_indices",
+    "sample_rates",
+    "OutboundLedger",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,82 @@ class BandwidthProfile:
     def __post_init__(self) -> None:
         if self.inbound < 0 or self.outbound < 0:
             raise ValueError("bandwidth rates must be non-negative")
+
+
+@dataclass(frozen=True)
+class PeerClass:
+    """A named bandwidth class peers are drawn from (ADSL, cable, fiber, ...).
+
+    The paper assigns every peer the same skewed rate distribution; real
+    IPTV populations are mixtures of access technologies.  A workload can
+    declare a set of classes with relative ``fraction`` weights; each peer
+    is assigned a class at setup (and joiners at join time) and samples its
+    inbound/outbound rates from that class's distribution via
+    :func:`sample_rates`.
+
+    Attributes
+    ----------
+    name:
+        Class label (appears in per-class metrics).
+    fraction:
+        Relative weight of this class in the population (weights are
+        normalised over the declared classes; they need not sum to 1).
+    inbound_low / inbound_high / inbound_mean:
+        Inbound rate distribution parameters, in segments/second.
+    outbound_low / outbound_high / outbound_mean:
+        Outbound rate distribution parameters, in segments/second.
+    """
+
+    name: str
+    fraction: float
+    inbound_low: float
+    inbound_high: float
+    inbound_mean: float
+    outbound_low: float
+    outbound_high: float
+    outbound_mean: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("peer class needs a non-empty name")
+        if self.fraction <= 0:
+            raise ValueError(f"fraction must be positive, got {self.fraction}")
+        for low, high, mean, side in (
+            (self.inbound_low, self.inbound_high, self.inbound_mean, "inbound"),
+            (self.outbound_low, self.outbound_high, self.outbound_mean, "outbound"),
+        ):
+            if not (low < mean < high):
+                raise ValueError(
+                    f"{side} mean must lie strictly between low and high "
+                    f"for class {self.name!r}, got {low}/{mean}/{high}"
+                )
+
+    def sample_inbound(self, rng: np.random.Generator) -> float:
+        """One inbound rate draw from this class's distribution."""
+        return float(
+            sample_rates(1, rng, low=self.inbound_low, high=self.inbound_high,
+                         mean=self.inbound_mean)[0]
+        )
+
+    def sample_outbound(self, rng: np.random.Generator) -> float:
+        """One outbound rate draw from this class's distribution."""
+        return float(
+            sample_rates(1, rng, low=self.outbound_low, high=self.outbound_high,
+                         mean=self.outbound_mean)[0]
+        )
+
+
+def draw_class_indices(
+    count: int,
+    classes: Sequence[PeerClass],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw a class index for each of ``count`` peers, weighted by fraction."""
+    if not classes:
+        raise ValueError("need at least one peer class")
+    weights = np.array([cls.fraction for cls in classes], dtype=float)
+    weights = weights / weights.sum()
+    return rng.choice(len(classes), size=count, p=weights)
 
 
 def sample_rates(
@@ -104,15 +186,26 @@ class OutboundLedger:
         self._period = float(period)
         self._credit: Dict[int, float] = {k: 0.0 for k in self._rates}
         self._budget: Dict[int, float] = {}
+        self._scale = 1.0
         self.served_total = 0
         self.rejected_total = 0
         self.reset_period()
 
     # ------------------------------------------------------------------ #
-    def reset_period(self) -> None:
-        """Start a new scheduling period: refill every node's budget."""
+    def reset_period(self, scale: float = 1.0) -> None:
+        """Start a new scheduling period: refill every node's budget.
+
+        ``scale`` multiplies every refill for this period only -- the
+        workload engine's congestion regimes (a scale of 0.5 halves all
+        upload capacity for the period).  Credit carried over from earlier
+        periods is unaffected.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self._scale = float(scale)
         for node_id, rate in self._rates.items():
-            self._budget[node_id] = rate * self._period + self._credit.get(node_id, 0.0)
+            self._budget[node_id] = rate * self._period * self._scale \
+                + self._credit.get(node_id, 0.0)
 
     def end_period(self) -> None:
         """Close the period: carry at most one segment of unused credit over."""
@@ -124,7 +217,7 @@ class OutboundLedger:
         node_id = int(node_id)
         self._rates[node_id] = float(outbound_rate)
         self._credit[node_id] = 0.0
-        self._budget[node_id] = float(outbound_rate) * self._period
+        self._budget[node_id] = float(outbound_rate) * self._period * self._scale
 
     def remove_node(self, node_id: int) -> None:
         """Forget a departed node (no-op if unknown)."""
@@ -157,7 +250,10 @@ class OutboundLedger:
     def utilisation(self, node_ids: Iterable[int] | None = None) -> float:
         """Fraction of this period's budget already consumed (0 when idle)."""
         ids = list(node_ids) if node_ids is not None else list(self._rates)
-        total = sum(self._rates[i] * self._period + self._credit.get(i, 0.0) for i in ids if i in self._rates)
+        total = sum(
+            self._rates[i] * self._period * self._scale + self._credit.get(i, 0.0)
+            for i in ids if i in self._rates
+        )
         left = sum(self._budget.get(i, 0.0) for i in ids)
         if total <= 0:
             return 0.0

@@ -64,6 +64,9 @@ class PeerNode:
         Whether this peer participates in switch-time metrics (peers that
         join through churn are not tracked, matching the paper's setup where
         joiners simply follow their neighbours' playback point).
+    peer_class:
+        Optional bandwidth-class label (ADSL/cable/fiber ...) used by the
+        per-class workload metrics; empty for homogeneous populations.
     """
 
     def __init__(
@@ -79,6 +82,7 @@ class PeerNode:
         tau: float = 1.0,
         lookahead: int = 600,
         tracked: bool = True,
+        peer_class: str = "",
     ) -> None:
         self.node_id = int(node_id)
         self.bandwidth = bandwidth
@@ -89,6 +93,7 @@ class PeerNode:
         self.tau = float(tau)
         self.lookahead = int(lookahead)
         self.tracked = bool(tracked)
+        self.peer_class = str(peer_class)
 
         self.buffer = SegmentBuffer(capacity=buffer_capacity)
         self.playback_old: Optional[PlaybackState] = None
@@ -412,6 +417,14 @@ class PeerNode:
     def switch_done(self) -> bool:
         """Whether this peer has completed its source switch."""
         return self.switch_complete_time is not None
+
+    @property
+    def total_stalls(self) -> int:
+        """Stall periods across both streams (continuity accounting)."""
+        stalls = self.playback_old.stall_periods if self.playback_old is not None else 0
+        if self.playback_new is not None:
+            stalls += self.playback_new.stall_periods
+        return stalls
 
     def undelivered_old(self) -> int:
         """``Q1``: old-stream segments still undelivered (metric helper)."""

@@ -25,8 +25,9 @@ are paired exactly as in the paper.
 from __future__ import annotations
 
 import time as _wallclock
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,16 +41,30 @@ from repro.overlay.augment import augment_to_min_degree
 from repro.overlay.generator import generate_trace
 from repro.overlay.membership import MembershipService
 from repro.overlay.topology import NodeInfo, Overlay, build_overlay_from_trace
+from repro.sim.clock import round_half_up
 from repro.sim.engine import SimulationEngine, StopSimulation
 from repro.sim.rng import RandomStreams
-from repro.streaming.bandwidth import BandwidthProfile, OutboundLedger, sample_rates
+from repro.streaming.bandwidth import (
+    BandwidthProfile,
+    OutboundLedger,
+    PeerClass,
+    draw_class_indices,
+    sample_rates,
+)
 from repro.streaming.buffermap import BufferMapSnapshot
 from repro.streaming.peer import PeerNode
 from repro.streaming.protocol import SEGMENT_REQUEST_BITS
 from repro.streaming.segment import DEFAULT_SEGMENT_BITS, StreamSpec, SwitchPlan
 from repro.streaming.source import SourceNode
 
-__all__ = ["SessionConfig", "SessionResult", "SwitchSession", "ALGORITHM_FACTORIES"]
+__all__ = [
+    "SessionConfig",
+    "SessionResult",
+    "SwitchSession",
+    "PeriodDirective",
+    "build_session_overlay",
+    "ALGORITHM_FACTORIES",
+]
 
 
 #: Registry of algorithm factories by name, used by configs and the CLI.
@@ -57,6 +72,87 @@ ALGORITHM_FACTORIES: Dict[str, Callable[[], SwitchAlgorithm]] = {
     "fast": FastSwitchAlgorithm,
     "normal": NormalSwitchAlgorithm,
 }
+
+
+@dataclass(frozen=True)
+class PeriodDirective:
+    """Environment overrides for one scheduling period.
+
+    The time-scripted workload engine (:mod:`repro.workloads`) compiles a
+    workload specification into a map from period index (1-based, period
+    ``k`` ends at time ``k * tau``) to directives; the session applies them
+    as the round executes.  Everything stays deterministic: directives are
+    plain data and the random draws they trigger come from the session's
+    named streams.
+
+    Attributes
+    ----------
+    leave_fraction / join_fraction:
+        Override the churn intensities for this period only (``None`` keeps
+        the configured model; a value activates churn even when the
+        configured model is disabled -- a churn burst over a static
+        baseline).
+    bandwidth_scale:
+        Multiplies every node's outbound budget for this period (congestion
+        regimes; 1.0 is neutral).
+    fail_fraction:
+        Fraction of current peers removed as one *correlated* failure: a
+        random peer and its overlay vicinity (breadth-first) fail together,
+        modelling a crashed access network rather than independent churn.
+    phase:
+        Name of the workload phase this directive belongs to (bookkeeping
+        only).
+    """
+
+    leave_fraction: Optional[float] = None
+    join_fraction: Optional[float] = None
+    bandwidth_scale: float = 1.0
+    fail_fraction: float = 0.0
+    phase: str = ""
+
+    def __post_init__(self) -> None:
+        for name in ("leave_fraction", "join_fraction"):
+            value = getattr(self, name)
+            if value is not None and not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.bandwidth_scale <= 0:
+            raise ValueError(
+                f"bandwidth_scale must be positive, got {self.bandwidth_scale}"
+            )
+        if not (0.0 <= self.fail_fraction <= 1.0):
+            raise ValueError(f"fail_fraction must be in [0, 1], got {self.fail_fraction}")
+
+    @property
+    def is_neutral(self) -> bool:
+        """Whether this directive changes nothing (safe to omit from maps)."""
+        return (
+            self.leave_fraction is None
+            and self.join_fraction is None
+            and self.bandwidth_scale == 1.0
+            and self.fail_fraction == 0.0
+        )
+
+
+def build_session_overlay(
+    n_nodes: int,
+    seed: int,
+    *,
+    min_degree: int = 5,
+    trace_mean_degree: float = 2.0,
+) -> Overlay:
+    """Build the overlay a session with this (size, seed) would build.
+
+    Exposed so the workload engine can construct one overlay per repetition
+    and hand it to every switch segment (each session takes its own copy,
+    so all zaps start from the same initial topology); the result is
+    identical to what :class:`SwitchSession` builds internally for the
+    same parameters.
+    """
+    streams = RandomStreams(seed)
+    trace = generate_trace(n_nodes, seed=seed, mean_degree=trace_mean_degree)
+    overlay = build_overlay_from_trace(trace)
+    augment_to_min_degree(overlay, min_degree, streams.get("augment"))
+    return overlay
 
 
 @dataclass(frozen=True)
@@ -137,6 +233,17 @@ class SessionConfig:
     record_rounds:
         Whether to keep the per-round time series (disable for large
         parameter sweeps to save memory).
+    peer_classes:
+        Optional heterogeneous bandwidth classes (ADSL/cable/fiber ...).
+        When non-empty, every peer (and every churn joiner) is assigned a
+        class -- weighted by the class fractions -- and samples its rates
+        from that class's distribution instead of the global
+        ``inbound_*``/``outbound_*`` parameters.
+    run_full_horizon:
+        When true the session runs to ``max_time`` even after every tracked
+        peer has switched.  The workload engine needs this so post-switch
+        phases (churn bursts, congestion windows) still execute and their
+        QoE is measured.
     """
 
     n_nodes: int = 200
@@ -168,6 +275,8 @@ class SessionConfig:
     supplier_rate_estimate: str = "full"
     trace_mean_degree: float = 2.0
     record_rounds: bool = True
+    peer_classes: Tuple[PeerClass, ...] = ()
+    run_full_horizon: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < self.min_degree + 2:
@@ -189,6 +298,11 @@ class SessionConfig:
             raise ValueError("old_stream_segments must exceed startup_quota_old")
         if self.max_time <= 0 or self.tau <= 0:
             raise ValueError("max_time and tau must be positive")
+        if not isinstance(self.peer_classes, tuple):
+            object.__setattr__(self, "peer_classes", tuple(self.peer_classes))
+        names = [cls.name for cls in self.peer_classes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"peer class names must be unique, got {names}")
 
     def with_algorithm(self, algorithm: str) -> "SessionConfig":
         """A copy of this config running a different switch algorithm."""
@@ -229,9 +343,11 @@ class SwitchSession:
         *,
         algorithm_factory: Optional[Callable[[], SwitchAlgorithm]] = None,
         overlay: Optional[Overlay] = None,
+        directives: Optional[Mapping[int, PeriodDirective]] = None,
     ) -> None:
         self.config = config
         self._algorithm_factory = algorithm_factory or config.make_algorithm
+        self._directives: Dict[int, PeriodDirective] = dict(directives or {})
         self.streams = RandomStreams(config.seed)
         self.engine = SimulationEngine(
             start_time=-config.warmup_duration if config.warmup == "simulated" else 0.0
@@ -240,8 +356,10 @@ class SwitchSession:
         self.peers: Dict[int, PeerNode] = {}
         self.sources: Dict[int, SourceNode] = {}
         self._departed: List[PeerNode] = []
+        self._departed_stalls = 0
         self._outbound: Dict[int, float] = {}
         self._inbound: Dict[int, float] = {}
+        self._peer_class: Dict[int, str] = {}
         self.overhead = OverheadAccountant()
         self.collector = MetricsCollector(config.startup_quota_new)
         self.rounds_run = 0
@@ -253,14 +371,12 @@ class SwitchSession:
     # ================================================================== #
     def _build_overlay(self) -> Overlay:
         cfg = self.config
-        trace = generate_trace(
+        return build_session_overlay(
             cfg.n_nodes,
-            seed=cfg.seed,
-            mean_degree=cfg.trace_mean_degree,
+            cfg.seed,
+            min_degree=cfg.min_degree,
+            trace_mean_degree=cfg.trace_mean_degree,
         )
-        overlay = build_overlay_from_trace(trace)
-        augment_to_min_degree(overlay, cfg.min_degree, self.streams.get("augment"))
-        return overlay
 
     def _setup(self) -> None:
         cfg = self.config
@@ -287,7 +403,9 @@ class SwitchSession:
         else:
             self._prepare_simulated_warmup()
 
-        self.collector.sample_round(max(self.engine.now, 0.0), list(self.peers.values()))
+        self.collector.sample_round(
+            max(self.engine.now, 0.0), list(self.peers.values()), self._departed_stalls
+        )
         self.engine.schedule_periodic(
             cfg.tau,
             self._round,
@@ -313,23 +431,35 @@ class SwitchSession:
         cfg = self.config
         node_ids = self.overlay.node_ids
         peer_ids = [n for n in node_ids if n not in (self.old_source_id, self.new_source_id)]
-        inbound = sample_rates(
-            len(peer_ids),
-            self.streams.get("inbound"),
-            low=cfg.inbound_low,
-            high=cfg.inbound_high,
-            mean=cfg.inbound_mean,
-        )
-        outbound = sample_rates(
-            len(peer_ids),
-            self.streams.get("outbound"),
-            low=cfg.outbound_low,
-            high=cfg.outbound_high,
-            mean=cfg.outbound_mean,
-        )
-        for idx, node_id in enumerate(peer_ids):
-            self._inbound[node_id] = float(inbound[idx])
-            self._outbound[node_id] = float(outbound[idx])
+        if cfg.peer_classes:
+            class_indices = draw_class_indices(
+                len(peer_ids), cfg.peer_classes, self.streams.get("peer-class")
+            )
+            inbound_rng = self.streams.get("inbound")
+            outbound_rng = self.streams.get("outbound")
+            for idx, node_id in enumerate(peer_ids):
+                peer_class = cfg.peer_classes[int(class_indices[idx])]
+                self._peer_class[node_id] = peer_class.name
+                self._inbound[node_id] = peer_class.sample_inbound(inbound_rng)
+                self._outbound[node_id] = peer_class.sample_outbound(outbound_rng)
+        else:
+            inbound = sample_rates(
+                len(peer_ids),
+                self.streams.get("inbound"),
+                low=cfg.inbound_low,
+                high=cfg.inbound_high,
+                mean=cfg.inbound_mean,
+            )
+            outbound = sample_rates(
+                len(peer_ids),
+                self.streams.get("outbound"),
+                low=cfg.outbound_low,
+                high=cfg.outbound_high,
+                mean=cfg.outbound_mean,
+            )
+            for idx, node_id in enumerate(peer_ids):
+                self._inbound[node_id] = float(inbound[idx])
+                self._outbound[node_id] = float(outbound[idx])
         for source_id in (self.old_source_id, self.new_source_id):
             self._inbound[source_id] = 0.0
             self._outbound[source_id] = cfg.source_outbound
@@ -392,6 +522,7 @@ class SwitchSession:
                 tau=cfg.tau,
                 lookahead=cfg.lookahead,
                 tracked=True,
+                peer_class=self._peer_class.get(node_id, ""),
             )
 
     # ------------------------------------------------------------------ #
@@ -454,14 +585,22 @@ class SwitchSession:
     def _round(self, now: float) -> None:
         cfg = self.config
         self.rounds_run += 1
+        directive = self._directive_for(now)
 
-        if cfg.churn.enabled and now > 0:
-            self._apply_churn(now)
+        if now > 0:
+            if directive is not None and directive.fail_fraction > 0.0:
+                self._apply_correlated_failure(directive.fail_fraction)
+            leave = directive.leave_fraction if directive is not None else None
+            join = directive.join_fraction if directive is not None else None
+            if cfg.churn.enabled or leave is not None or join is not None:
+                self._apply_churn(now, leave_fraction=leave, join_fraction=join)
 
         for source in self.sources.values():
             source.generate_until(now)
 
-        self.ledger.reset_period()
+        self.ledger.reset_period(
+            directive.bandwidth_scale if directive is not None else 1.0
+        )
         order = list(self.peers.keys())
         self.streams.get("round-order").shuffle(order)
 
@@ -496,7 +635,9 @@ class SwitchSession:
         if now >= 0:
             self.overhead.close_period(now)
             if cfg.record_rounds:
-                self.collector.sample_round(now, list(self.peers.values()))
+                self.collector.sample_round(
+                    now, list(self.peers.values()), self._departed_stalls
+                )
             self._maybe_stop(now)
 
     def _pull_buffer_maps(self, peer: PeerNode) -> List[BufferMapSnapshot]:
@@ -527,29 +668,89 @@ class SwitchSession:
         return self.sources.get(node_id)
 
     # ------------------------------------------------------------------ #
-    # churn
+    # churn and scripted environment changes
     # ------------------------------------------------------------------ #
-    def _apply_churn(self, now: float) -> None:
+    def _directive_for(self, now: float) -> Optional[PeriodDirective]:
+        """The workload directive for the period ending at ``now`` (if any)."""
+        if not self._directives or now <= 0:
+            return None
+        period = round_half_up(now / self.config.tau)
+        return self._directives.get(period)
+
+    def _apply_churn(
+        self,
+        now: float,
+        *,
+        leave_fraction: Optional[float] = None,
+        join_fraction: Optional[float] = None,
+    ) -> None:
         eligible = sorted(self.peers.keys())
-        plan = self.churn.plan_round(eligible)
+        plan = self.churn.plan_round(
+            eligible, leave_fraction=leave_fraction, join_fraction=join_fraction
+        )
         if plan.empty:
             return
         affected: List[int] = []
         for leaver in plan.leavers:
             if leaver not in self.peers:
                 continue
-            affected.extend(self.membership.leave(leaver))
-            departed = self.peers.pop(leaver)
-            if departed.tracked:
-                self._departed.append(departed)
-            self.ledger.remove_node(leaver)
-            self._outbound.pop(leaver, None)
-            self._inbound.pop(leaver, None)
+            affected.extend(self._remove_peer(leaver))
         self.membership.repair([n for n in affected if n in self.overlay])
 
         rng = self.streams.get("join-bandwidth")
         for _ in range(plan.joins):
             self._create_joiner(now, rng)
+
+    def _remove_peer(self, leaver: int) -> List[int]:
+        """Remove one peer from every session structure; return its ex-neighbours."""
+        affected = self.membership.leave(leaver)
+        departed = self.peers.pop(leaver)
+        if departed.tracked:
+            self._departed.append(departed)
+            self._departed_stalls += departed.total_stalls
+        self.ledger.remove_node(leaver)
+        self._outbound.pop(leaver, None)
+        self._inbound.pop(leaver, None)
+        self._peer_class.pop(leaver, None)
+        return affected
+
+    def _apply_correlated_failure(self, fraction: float) -> None:
+        """Fail a connected cluster of peers together (one correlated event).
+
+        A random seed peer is drawn and the failure spreads breadth-first
+        over current overlay neighbours until ``fraction`` of the peer
+        population is gone -- the topological correlation is what separates
+        this from the independent-leaver churn model.
+        """
+        eligible = sorted(self.peers.keys())
+        target = min(round_half_up(fraction * len(eligible)), len(eligible))
+        if target <= 0:
+            return
+        rng = self.streams.get("failure")
+        victims: List[int] = []
+        queue: deque[int] = deque()
+        seen: set[int] = set()
+        while len(victims) < target:
+            if not queue:
+                # (Re)start from a random untouched peer -- covers overlays
+                # whose failed cluster is smaller than the target.
+                candidates = [n for n in eligible if n not in seen]
+                if not candidates:
+                    break
+                start = int(candidates[int(rng.integers(0, len(candidates)))])
+                seen.add(start)
+                queue.append(start)
+            node_id = queue.popleft()
+            victims.append(node_id)
+            for neighbour in sorted(self.overlay.neighbours(node_id)):
+                if neighbour not in seen and neighbour in self.peers:
+                    seen.add(neighbour)
+                    queue.append(neighbour)
+        affected: List[int] = []
+        for victim in victims:
+            if victim in self.peers:
+                affected.extend(self._remove_peer(victim))
+        self.membership.repair([n for n in affected if n in self.overlay])
 
     def _create_joiner(self, now: float, rng: np.random.Generator) -> None:
         cfg = self.config
@@ -559,14 +760,23 @@ class SwitchSession:
             speed_kbps=float(rng.choice([128.0, 768.0, 1500.0])),
         )
         node_id = self.membership.join(info)
-        inbound = float(
-            sample_rates(1, rng, low=cfg.inbound_low, high=cfg.inbound_high, mean=cfg.inbound_mean)[0]
-        )
-        outbound = float(
-            sample_rates(1, rng, low=cfg.outbound_low, high=cfg.outbound_high, mean=cfg.outbound_mean)[0]
-        )
+        class_name = ""
+        if cfg.peer_classes:
+            index = int(draw_class_indices(1, cfg.peer_classes, rng)[0])
+            peer_class = cfg.peer_classes[index]
+            class_name = peer_class.name
+            inbound = peer_class.sample_inbound(rng)
+            outbound = peer_class.sample_outbound(rng)
+        else:
+            inbound = float(
+                sample_rates(1, rng, low=cfg.inbound_low, high=cfg.inbound_high, mean=cfg.inbound_mean)[0]
+            )
+            outbound = float(
+                sample_rates(1, rng, low=cfg.outbound_low, high=cfg.outbound_high, mean=cfg.outbound_mean)[0]
+            )
         self._inbound[node_id] = inbound
         self._outbound[node_id] = outbound
+        self._peer_class[node_id] = class_name
         self.ledger.add_node(node_id, outbound)
 
         peer = PeerNode(
@@ -580,6 +790,7 @@ class SwitchSession:
             tau=cfg.tau,
             lookahead=cfg.lookahead,
             tracked=False,
+            peer_class=class_name,
         )
         # A joiner follows its neighbours' current playback point rather than
         # back-filling history (paper, Section 5.4).
@@ -608,7 +819,7 @@ class SwitchSession:
         tracked_alive = [p for p in self.peers.values() if p.tracked]
         if not tracked_alive:
             raise StopSimulation("no tracked peers remain")
-        if all(p.switch_done for p in tracked_alive):
+        if not self.config.run_full_horizon and all(p.switch_done for p in tracked_alive):
             raise StopSimulation("all tracked peers switched")
         if now >= self.config.max_time:
             raise StopSimulation("time horizon reached")

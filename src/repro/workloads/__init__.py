@@ -1,0 +1,72 @@
+"""Time-scripted workload engine.
+
+The paper evaluates one event: a single S1->S2 source switch under static
+or uniform 5 %/5 % churn.  This subpackage generalises the evaluation into
+declarative, replayable **workloads** -- scripts of phases that zap between
+sources repeatedly, fire churn bursts and correlated failures, shift
+bandwidth regimes and draw peers from heterogeneous access classes.
+
+Modules
+-------
+:mod:`repro.workloads.spec`
+    Frozen :class:`WorkloadSpec`/:class:`Phase`/:class:`PeerClass`
+    dataclasses with an exact dict round trip (what the store
+    fingerprints).
+:mod:`repro.workloads.schedule`
+    Compiles a spec into deterministic per-period
+    :class:`~repro.streaming.session.PeriodDirective` maps, one switch
+    segment per ``switch=True`` phase.
+:mod:`repro.workloads.runner`
+    Paired (fast vs normal) execution of compiled workloads: store-backed,
+    parallel over repetitions, bit-identical to serial.
+:mod:`repro.workloads.library`
+    The registry of named workloads (``zapping``, ``flash-crowd``,
+    ``evening-peak``, ``correlated-failure``, ``bandwidth-degradation``,
+    ``paper-baseline``).
+
+Quickstart
+----------
+>>> from repro.workloads import get_workload, run_workload
+>>> result = run_workload(get_workload("zapping"))      # doctest: +SKIP
+>>> result.mean_reduction > 0                           # doctest: +SKIP
+True
+"""
+
+from repro.workloads.library import IPTV_CLASSES, WORKLOADS, get_workload, workload_names
+from repro.workloads.runner import (
+    SwitchOutcome,
+    WorkloadRepResult,
+    WorkloadResult,
+    WorkloadRunner,
+    run_workload,
+    run_workload_rep,
+    workload_fingerprint,
+)
+from repro.workloads.schedule import (
+    PhaseWindow,
+    SegmentPlan,
+    WorkloadSchedule,
+    compile_workload,
+)
+from repro.workloads.spec import PeerClass, Phase, WorkloadSpec
+
+__all__ = [
+    "WorkloadSpec",
+    "Phase",
+    "PeerClass",
+    "compile_workload",
+    "WorkloadSchedule",
+    "SegmentPlan",
+    "PhaseWindow",
+    "WorkloadRunner",
+    "WorkloadResult",
+    "WorkloadRepResult",
+    "SwitchOutcome",
+    "run_workload",
+    "run_workload_rep",
+    "workload_fingerprint",
+    "WORKLOADS",
+    "IPTV_CLASSES",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,172 @@
+"""The registry of named, ready-to-run workloads.
+
+Six workloads ship with the engine, spanning the scenario space the paper
+motivates but never evaluates (its evaluation is a single S1->S2 switch
+under static or uniform 5 %/5 % membership):
+
+``zapping``
+    A channel-zapping viewer population: four source switches in a row
+    over a heterogeneous ADSL/cable/fiber population with light ambient
+    churn.  The headline multi-switch workload.
+``flash-crowd``
+    A premiere: one switch followed by a joining rush of 30 % per period,
+    then a settling window.
+``evening-peak``
+    Two zaps with an evening congestion window in between -- upload
+    budgets drop to 60 % while churn doubles.
+``correlated-failure``
+    A switch followed by a correlated neighbourhood outage (15 % of peers
+    fail together) plus elevated departures, then a recovery join wave.
+``bandwidth-degradation``
+    One switch whose aftermath runs through stepwise congestion (100 % ->
+    70 % -> 45 % -> 100 % upload capacity), stressing playback continuity.
+``paper-baseline``
+    The paper's dynamic experiment as a workload: one switch, uniform
+    5 %/5 % churn, homogeneous bandwidth.  The regression anchor linking
+    the engine back to the reproduced figures.
+
+All sizes are laptop/CI friendly; use
+:meth:`~repro.workloads.spec.WorkloadSpec.scaled_to` (or the CLI's
+``--n-nodes``) for larger populations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.spec import PeerClass, Phase, WorkloadSpec
+
+__all__ = ["IPTV_CLASSES", "WORKLOADS", "get_workload", "workload_names"]
+
+
+#: A standard heterogeneous access-class mix (rates in segments/second,
+#: play rate is 10).  ADSL sits barely above the stream rate, cable is
+#: comfortable, fiber is far from being the bottleneck.
+IPTV_CLASSES = (
+    PeerClass(
+        name="adsl", fraction=0.4,
+        inbound_low=10.0, inbound_high=16.0, inbound_mean=12.0,
+        outbound_low=10.0, outbound_high=16.0, outbound_mean=12.0,
+    ),
+    PeerClass(
+        name="cable", fraction=0.4,
+        inbound_low=12.0, inbound_high=24.0, inbound_mean=16.0,
+        outbound_low=12.0, outbound_high=24.0, outbound_mean=16.0,
+    ),
+    PeerClass(
+        name="fiber", fraction=0.2,
+        inbound_low=20.0, inbound_high=33.0, inbound_mean=26.0,
+        outbound_low=20.0, outbound_high=33.0, outbound_mean=26.0,
+    ),
+)
+
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            name="zapping",
+            description=(
+                "Channel-zapping viewers: four source switches in a row over "
+                "an ADSL/cable/fiber population with light ambient churn."
+            ),
+            n_nodes=120,
+            peer_classes=IPTV_CLASSES,
+            base_leave_fraction=0.01,
+            base_join_fraction=0.01,
+            phases=(
+                Phase("zap-1", 35.0, switch=True),
+                Phase("zap-2", 35.0, switch=True),
+                Phase("zap-3", 35.0, switch=True),
+                Phase("zap-4", 35.0, switch=True),
+            ),
+        ),
+        WorkloadSpec(
+            name="flash-crowd",
+            description=(
+                "A premiere: one switch, then a joining rush of 30% of the "
+                "population per period, then a settling window."
+            ),
+            n_nodes=150,
+            peer_classes=IPTV_CLASSES,
+            phases=(
+                Phase("premiere", 30.0, switch=True),
+                Phase("rush", 10.0, join_fraction=0.3),
+                Phase("settle", 20.0),
+            ),
+        ),
+        WorkloadSpec(
+            name="evening-peak",
+            description=(
+                "Two zaps separated by an evening congestion window: upload "
+                "budgets drop to 60% while churn doubles."
+            ),
+            n_nodes=150,
+            peer_classes=IPTV_CLASSES,
+            base_leave_fraction=0.02,
+            base_join_fraction=0.02,
+            phases=(
+                Phase("news", 30.0, switch=True),
+                Phase(
+                    "peak-congestion", 20.0,
+                    bandwidth_scale=0.6, leave_fraction=0.04, join_fraction=0.04,
+                ),
+                Phase("movie", 35.0, switch=True, bandwidth_scale=0.8),
+            ),
+        ),
+        WorkloadSpec(
+            name="correlated-failure",
+            description=(
+                "A switch followed by a correlated neighbourhood outage (15% "
+                "of peers fail together) and a recovery join wave."
+            ),
+            n_nodes=150,
+            phases=(
+                Phase("handover", 30.0, switch=True),
+                Phase("outage", 15.0, fail_fraction=0.15, leave_fraction=0.05),
+                Phase("recovery", 20.0, join_fraction=0.1),
+            ),
+        ),
+        WorkloadSpec(
+            name="bandwidth-degradation",
+            description=(
+                "One switch riding through stepwise congestion: 100% -> 70% "
+                "-> 45% -> 100% upload capacity."
+            ),
+            n_nodes=120,
+            peer_classes=IPTV_CLASSES,
+            phases=(
+                Phase("kickoff", 25.0, switch=True),
+                Phase("squeeze", 20.0, bandwidth_scale=0.7),
+                Phase("crunch", 20.0, bandwidth_scale=0.45),
+                Phase("relief", 15.0),
+            ),
+        ),
+        WorkloadSpec(
+            name="paper-baseline",
+            description=(
+                "The paper's dynamic experiment as a workload: one switch "
+                "under uniform 5%/5% churn, homogeneous bandwidth."
+            ),
+            n_nodes=200,
+            base_leave_fraction=0.05,
+            base_join_fraction=0.05,
+            phases=(Phase("s1-to-s2", 60.0, switch=True),),
+        ),
+    )
+}
+
+
+def workload_names() -> List[str]:
+    """Registered workload names, sorted."""
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """The named workload spec (``KeyError`` with a hint otherwise)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {workload_names()}"
+        ) from exc

@@ -56,12 +56,51 @@ def test_empty_population_produces_empty_plan():
 def test_small_population_rounds_churn_counts():
     model = ChurnModel(ChurnConfig(leave_fraction=0.05, join_fraction=0.05),
                        np.random.default_rng(5))
-    # 10 peers at 5%: rounds to one every other period on average; rounding
-    # of 0.5 gives 0 (banker's rounding at exactly .5 for round()),
-    # with 30 peers it must be at least 1.
     plan = model.plan_round(list(range(30)))
     assert len(plan.leavers) >= 1
     assert plan.joins >= 1
+
+
+def test_half_expectations_round_up_not_bankers():
+    # 10 peers at 5% is an expectation of exactly 0.5 leavers/joiners.
+    # int(round(0.5)) would give 0 (banker's rounding); the model pins
+    # floor(x + 0.5) = 1 so small populations churn deterministically.
+    model = ChurnModel(ChurnConfig(leave_fraction=0.05, join_fraction=0.05),
+                       np.random.default_rng(5))
+    plan = model.plan_round(list(range(10)))
+    assert len(plan.leavers) == 1
+    assert plan.joins == 1
+
+
+@pytest.mark.parametrize("population,fraction,expected", [
+    (10, 0.05, 1),   # 0.5 -> 1 (round-half-up)
+    (30, 0.05, 2),   # 1.5 -> 2
+    (50, 0.05, 3),   # 2.5 -> 3 (int(round(2.5)) would be 2)
+    (9, 0.05, 0),    # 0.45 -> 0
+    (100, 0.05, 5),  # 5.0 -> 5
+])
+def test_rounding_is_floor_of_x_plus_half(population, fraction, expected):
+    model = ChurnModel(ChurnConfig(leave_fraction=fraction, join_fraction=fraction),
+                       np.random.default_rng(8))
+    plan = model.plan_round(list(range(population)))
+    assert len(plan.leavers) == expected
+    assert plan.joins == expected
+
+
+def test_per_round_overrides_replace_configured_intensities():
+    model = ChurnModel(ChurnConfig(leave_fraction=0.05, join_fraction=0.05),
+                       np.random.default_rng(9))
+    plan = model.plan_round(list(range(100)), leave_fraction=0.2, join_fraction=0.0)
+    assert len(plan.leavers) == 20
+    assert plan.joins == 0
+
+
+def test_overrides_activate_a_disabled_model():
+    model = ChurnModel(ChurnConfig.disabled(), np.random.default_rng(10))
+    assert model.plan_round(list(range(100))).empty
+    burst = model.plan_round(list(range(100)), join_fraction=0.3)
+    assert burst.joins == 30
+    assert burst.leavers == ()
 
 
 def test_cannot_remove_more_than_population():

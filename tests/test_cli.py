@@ -29,6 +29,18 @@ def test_parser_knows_all_subcommands():
     assert args.store_command == "ls"
     args = parser.parse_args(["store", "clear", "--results-dir", "/tmp/r"])
     assert args.store_command == "clear"
+    args = parser.parse_args(["workload", "ls"])
+    assert args.workload_command == "ls"
+    args = parser.parse_args(["workload", "run", "zapping", "--workers", "2",
+                              "--repetitions", "3", "--n-nodes", "40",
+                              "--results-dir", "/tmp/r", "--from-store"])
+    assert args.workload_command == "run" and args.name == "zapping"
+    assert args.workers == 2 and args.repetitions == 3 and args.from_store
+    args = parser.parse_args(["workload", "compare", "flash-crowd"])
+    assert args.workload_command == "compare" and args.name == "flash-crowd"
+    args = parser.parse_args(["scenario", "video-conference", "--compare",
+                              "--results-dir", "/tmp/r"])
+    assert args.compare and args.results_dir == "/tmp/r"
 
 
 def test_figure2_command_prints_table(capsys):
@@ -133,3 +145,63 @@ def test_store_command_without_results_dir_errors(monkeypatch):
     monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
     with pytest.raises(SystemExit):
         main(["store", "ls"])
+
+
+def test_workload_ls_lists_the_library(capsys):
+    assert main(["workload", "ls", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    names = {row["name"] for row in rows}
+    assert {"zapping", "flash-crowd", "paper-baseline"} <= names
+    zapping = next(row for row in rows if row["name"] == "zapping")
+    assert zapping["switches"] == 4
+    assert "zap-1" in zapping["phases"]
+
+
+def test_workload_run_persists_and_replays(tmp_path, capsys, monkeypatch):
+    store_dir = tmp_path / "results"
+    argv = ["workload", "run", "zapping", "--n-nodes", "40", "--seed", "2",
+            "--results-dir", str(store_dir), "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["workload"] == "zapping"
+    assert first["n_switches"] == 4
+    assert first["simulated"] == 1 and first["replayed"] == 0
+    assert [row["switch"] for row in first["switch_rows"]] == [1, 2, 3, 4]
+    assert {row["class"] for row in first["class_rows"]} == {"adsl", "cable", "fiber"}
+
+    # The repeated invocation replays from the store without simulating.
+    import repro.workloads.runner as runner_module
+
+    def _boom(spec, seed):
+        raise AssertionError("simulated despite a warm store")
+
+    monkeypatch.setattr(runner_module, "run_workload_rep", _boom)
+    assert main(argv + ["--from-store"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["replayed"] == 1 and second["simulated"] == 0
+    assert second["switch_rows"] == first["switch_rows"]
+    assert second["class_rows"] == first["class_rows"]
+    assert second["phase_rows"] == first["phase_rows"]
+
+
+def test_workload_compare_prints_reduction(tmp_path, capsys):
+    store_dir = tmp_path / "results"
+    assert main(["workload", "compare", "paper-baseline", "--n-nodes", "40",
+                 "--results-dir", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "mean switch-time reduction:" in out
+    assert "per-phase playback quality" not in out  # compare prints only the comparison
+
+
+def test_workload_from_store_requires_populated_store(tmp_path, capsys):
+    argv = ["workload", "run", "zapping", "--from-store",
+            "--results-dir", str(tmp_path / "empty")]
+    assert main(argv) == 1
+    assert "not in the store" in capsys.readouterr().err
+
+
+def test_scenario_from_store_requires_populated_store(tmp_path, capsys):
+    argv = ["scenario", "video-conference", "--from-store",
+            "--results-dir", str(tmp_path / "empty")]
+    assert main(argv) == 1
+    assert "not in the store" in capsys.readouterr().err

@@ -1,8 +1,9 @@
-"""Tests for the named example scenarios."""
+"""Tests for the named example scenarios (wrappers over workload specs)."""
 
 import pytest
 
 from repro.experiments.scenarios import SCENARIOS, scenario_config
+from repro.workloads.library import WORKLOADS
 
 
 def test_three_scenarios_are_defined():
@@ -10,26 +11,48 @@ def test_three_scenarios_are_defined():
     for scenario in SCENARIOS.values():
         assert scenario.description
         assert scenario.n_nodes >= 100
+        assert scenario.workload in WORKLOADS
 
 
-def test_scenario_config_materialises_session_config():
+def test_scenarios_resolve_to_workload_specs():
+    for scenario in SCENARIOS.values():
+        spec = scenario.spec()
+        assert spec.n_nodes == scenario.n_nodes
+        assert spec.n_switches == scenario.n_switches >= 1
+
+
+def test_video_conference_is_static_multi_switch():
+    scenario = SCENARIOS["video-conference"]
+    spec = scenario.spec()
+    assert not scenario.dynamic
+    assert spec.n_switches >= 3  # repeated speaker changes
     config = scenario_config("video-conference", algorithm="normal", seed=9)
-    assert config.n_nodes == SCENARIOS["video-conference"].n_nodes
+    assert config.n_nodes == scenario.n_nodes == 300
     assert config.algorithm == "normal"
     assert config.seed == 9
     assert not config.churn.enabled
 
 
 def test_distance_education_is_dynamic():
+    scenario = SCENARIOS["distance-education"]
+    assert scenario.dynamic
     config = scenario_config("distance-education")
     assert config.churn.enabled
     assert config.churn.leave_fraction == 0.05
+    assert config.n_nodes == 800
 
 
 def test_flash_crowd_overrides_bandwidth_and_quota():
     config = scenario_config("flash-crowd")
     assert config.inbound_mean == 12.0
     assert config.startup_quota_new == 80
+    assert config.peer_classes == ()  # tight homogeneous bandwidth
+
+
+def test_scenario_configs_run_full_horizon_for_phase_metrics():
+    config = scenario_config("flash-crowd")
+    assert config.run_full_horizon
+    assert config.record_rounds
 
 
 def test_unknown_scenario_raises_with_hint():

@@ -1,0 +1,105 @@
+"""Tests for the per-phase QoE and per-class switch-time metrics."""
+
+import pytest
+
+from repro.metrics.collectors import PeerOutcome, RoundSample
+from repro.metrics.qoe import (
+    continuity_index,
+    per_class_switch_stats,
+    phase_qoe,
+)
+
+
+def _sample(time, stalls, switched=0.0, peers=10):
+    return RoundSample(
+        time=time,
+        undelivered_ratio_old=0.0,
+        delivered_ratio_new=0.0,
+        fraction_finished_old=0.0,
+        fraction_prepared_new=0.0,
+        fraction_switched=switched,
+        tracked_peers=peers,
+        cumulative_stalls=stalls,
+    )
+
+
+def _outcome(node_id, switch_time, peer_class=""):
+    return PeerOutcome(
+        node_id=node_id,
+        q0=10,
+        finish_old_time=1.0,
+        prepared_new_time=switch_time,
+        switch_complete_time=switch_time,
+        peer_class=peer_class,
+    )
+
+
+def test_continuity_index_bounds():
+    assert continuity_index(0, 10, 5) == 1.0
+    assert continuity_index(50, 10, 5) == 0.0
+    assert continuity_index(25, 10, 5) == 0.5
+    assert continuity_index(999, 10, 5) == 0.0  # clamped
+    assert continuity_index(3, 0, 0) == 1.0  # no slots -> perfect by definition
+
+
+def test_phase_qoe_partitions_stalls_exactly():
+    rounds = [_sample(0.0, 0)] + [
+        _sample(float(t), stalls, switched=min(1.0, t / 10.0))
+        for t, stalls in [(1, 2), (2, 4), (3, 4), (4, 10), (5, 10), (6, 12)]
+    ]
+    phases = phase_qoe(rounds, [("a", 0.0, 3.0), ("b", 3.0, 6.0)])
+    assert [q.phase for q in phases] == ["a", "b"]
+    assert phases[0].stall_periods == 4
+    assert phases[1].stall_periods == 8
+    assert phases[0].stall_periods + phases[1].stall_periods == 12
+    assert phases[0].periods == 3 and phases[1].periods == 3
+    assert phases[0].continuity_index == pytest.approx(1.0 - 4 / 30)
+    assert phases[1].fraction_switched == pytest.approx(0.6)
+
+
+def test_phase_qoe_excludes_warmup_stalls_from_first_phase():
+    # A simulated warm-up samples at times <= 0; its stalls must not be
+    # charged to the first phase window.
+    rounds = [_sample(-2.0, 5), _sample(0.0, 7), _sample(1.0, 9), _sample(2.0, 9)]
+    phases = phase_qoe(rounds, [("a", 0.0, 2.0)])
+    assert phases[0].stall_periods == 2  # 9 - 7, not 9 - 0
+
+
+def test_phase_qoe_empty_window_reports_zero_periods():
+    rounds = [_sample(float(t), t) for t in range(1, 5)]
+    phases = phase_qoe(rounds, [("a", 0.0, 4.0), ("late", 4.0, 8.0)])
+    assert phases[1].periods == 0
+    assert phases[1].stall_periods == 0
+    assert phases[1].continuity_index == 1.0
+    # carries the last observed switch fraction
+    assert phases[1].fraction_switched == phases[0].fraction_switched
+
+
+def test_per_class_stats_group_and_sort_by_class():
+    outcomes = (
+        [_outcome(i, 10.0 + i, "fiber") for i in range(5)]
+        + [_outcome(10 + i, 20.0 + i, "adsl") for i in range(5)]
+    )
+    stats = per_class_switch_stats(outcomes, horizon=60.0)
+    assert [s.peer_class for s in stats] == ["adsl", "fiber"]
+    adsl, fiber = stats
+    assert adsl.peers == fiber.peers == 5
+    assert adsl.mean > fiber.mean
+    assert fiber.p50 == 12.0
+    assert adsl.p50 <= adsl.p90 <= adsl.p99
+
+
+def test_unfinished_peers_account_for_horizon():
+    outcomes = [_outcome(1, 5.0, "adsl")]
+    never = PeerOutcome(
+        node_id=2, q0=10, finish_old_time=None, prepared_new_time=None,
+        switch_complete_time=None, peer_class="adsl",
+    )
+    stats = per_class_switch_stats(outcomes + [never], horizon=60.0)
+    assert stats[0].peers == 2
+    assert stats[0].p99 > 50.0  # the unfinished peer pulls the tail to the horizon
+
+
+def test_unlabelled_peers_fall_back_to_all():
+    stats = per_class_switch_stats([_outcome(1, 5.0)], horizon=60.0)
+    assert [s.peer_class for s in stats] == ["all"]

@@ -1,0 +1,97 @@
+"""Tests for workload compilation into per-period directives."""
+
+from repro.streaming.session import PeriodDirective
+from repro.workloads.schedule import compile_workload
+from repro.workloads.spec import Phase, WorkloadSpec
+
+
+def _spec(phases, tau=1.0, **kwargs):
+    defaults = dict(name="t", description="", n_nodes=50, phases=phases, tau=tau)
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+def test_each_switch_phase_opens_a_segment():
+    schedule = compile_workload(
+        _spec((
+            Phase("a", 10.0, switch=True),
+            Phase("b", 5.0),
+            Phase("c", 10.0, switch=True),
+        ))
+    )
+    assert schedule.n_switches == 2
+    assert [s.switch_phase for s in schedule.segments] == ["a", "c"]
+    assert [s.n_periods for s in schedule.segments] == [15, 10]
+    assert schedule.total_periods == 25
+
+
+def test_durations_round_to_whole_periods():
+    schedule = compile_workload(
+        _spec((Phase("a", 10.0, switch=True), Phase("b", 3.0)), tau=2.0)
+    )
+    # 10s / 2s = 5 periods; 3s / 2s rounds to 2 periods
+    assert schedule.segments[0].n_periods == 7
+    windows = schedule.segments[0].windows
+    assert (windows[0].first_period, windows[0].last_period) == (1, 5)
+    assert (windows[1].first_period, windows[1].last_period) == (6, 7)
+    assert windows[1].start == 10.0 and windows[1].end == 14.0
+
+
+def test_default_phases_emit_no_directives():
+    schedule = compile_workload(
+        _spec((Phase("a", 10.0, switch=True), Phase("b", 5.0)))
+    )
+    assert schedule.segments[0].directives == ()
+
+
+def test_override_phases_emit_directives_for_each_period():
+    schedule = compile_workload(
+        _spec((
+            Phase("a", 10.0, switch=True),
+            Phase("b", 5.0, leave_fraction=0.2, bandwidth_scale=0.5),
+        ))
+    )
+    directives = schedule.segments[0].directive_map()
+    assert sorted(directives) == [11, 12, 13, 14, 15]
+    for directive in directives.values():
+        assert isinstance(directive, PeriodDirective)
+        assert directive.leave_fraction == 0.2
+        assert directive.bandwidth_scale == 0.5
+        assert directive.phase == "b"
+
+
+def test_correlated_failure_fires_only_in_first_period_of_phase():
+    schedule = compile_workload(
+        _spec((
+            Phase("a", 10.0, switch=True),
+            Phase("fail", 5.0, fail_fraction=0.2),
+        ))
+    )
+    directives = schedule.segments[0].directive_map()
+    assert sorted(directives) == [11]  # later periods are default environment
+    assert directives[11].fail_fraction == 0.2
+
+
+def test_switch_phase_can_carry_environment_overrides():
+    schedule = compile_workload(
+        _spec((Phase("a", 5.0, switch=True, bandwidth_scale=0.8),))
+    )
+    directives = schedule.segments[0].directive_map()
+    assert sorted(directives) == [1, 2, 3, 4, 5]
+    assert all(d.bandwidth_scale == 0.8 for d in directives.values())
+
+
+def test_compilation_is_deterministic():
+    spec = _spec((
+        Phase("a", 10.0, switch=True),
+        Phase("b", 5.0, join_fraction=0.3),
+        Phase("c", 10.0, switch=True, fail_fraction=0.1),
+    ))
+    assert compile_workload(spec) == compile_workload(spec)
+
+
+def test_qoe_windows_match_phase_windows():
+    schedule = compile_workload(
+        _spec((Phase("a", 10.0, switch=True), Phase("b", 5.0)))
+    )
+    assert schedule.segments[0].qoe_windows() == [("a", 0.0, 10.0), ("b", 10.0, 15.0)]

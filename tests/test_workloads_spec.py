@@ -1,0 +1,115 @@
+"""Tests for workload specifications and their dict round trip."""
+
+import pytest
+
+from repro.workloads.library import IPTV_CLASSES, WORKLOADS, get_workload, workload_names
+from repro.workloads.spec import PeerClass, Phase, WorkloadSpec
+
+
+def _mini_spec(**kwargs):
+    defaults = dict(
+        name="mini",
+        description="test spec",
+        n_nodes=50,
+        phases=(
+            Phase("zap-1", 15.0, switch=True),
+            Phase("burst", 8.0, leave_fraction=0.15, join_fraction=0.15),
+            Phase("zap-2", 15.0, switch=True, bandwidth_scale=0.7),
+        ),
+    )
+    defaults.update(kwargs)
+    return WorkloadSpec(**defaults)
+
+
+def test_spec_counts_switches_and_duration():
+    spec = _mini_spec()
+    assert spec.n_switches == 2
+    assert spec.total_duration == 38.0
+
+
+def test_first_phase_must_switch():
+    with pytest.raises(ValueError, match="first phase"):
+        _mini_spec(phases=(Phase("idle", 10.0),))
+
+
+def test_phase_names_must_be_unique():
+    with pytest.raises(ValueError, match="unique"):
+        _mini_spec(phases=(Phase("a", 5.0, switch=True), Phase("a", 5.0)))
+
+
+def test_phase_validation():
+    with pytest.raises(ValueError):
+        Phase("bad", -1.0)
+    with pytest.raises(ValueError):
+        Phase("bad", 5.0, leave_fraction=1.5)
+    with pytest.raises(ValueError):
+        Phase("bad", 5.0, bandwidth_scale=0.0)
+    with pytest.raises(ValueError):
+        Phase("bad", 5.0, fail_fraction=-0.1)
+
+
+def test_peer_class_validation():
+    with pytest.raises(ValueError, match="mean"):
+        PeerClass("x", 1.0, 10.0, 12.0, 15.0, 10.0, 20.0, 15.0)
+    with pytest.raises(ValueError, match="fraction"):
+        PeerClass("x", 0.0, 10.0, 20.0, 15.0, 10.0, 20.0, 15.0)
+
+
+def test_dict_round_trip_is_exact():
+    spec = _mini_spec(
+        peer_classes=IPTV_CLASSES,
+        base_leave_fraction=0.02,
+        session_overrides={"old_stream_segments": 400, "lookahead": 120},
+    )
+    assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_dict_round_trip_survives_json():
+    import json
+
+    spec = _mini_spec(peer_classes=IPTV_CLASSES)
+    payload = json.loads(json.dumps(spec.to_dict()))
+    assert WorkloadSpec.from_dict(payload) == spec
+
+
+def test_overrides_are_sorted_and_mergeable():
+    spec = _mini_spec(session_overrides={"b": 2, "a": 1})
+    assert spec.session_overrides == (("a", 1), ("b", 2))
+    merged = spec.with_overrides(c=3, a=9)
+    assert merged.overrides_dict() == {"a": 9, "b": 2, "c": 3}
+
+
+def test_scaled_to_changes_only_size():
+    spec = _mini_spec()
+    bigger = spec.scaled_to(500)
+    assert bigger.n_nodes == 500
+    assert bigger.phases == spec.phases
+
+
+def test_library_has_the_six_workloads():
+    assert {
+        "zapping",
+        "flash-crowd",
+        "evening-peak",
+        "correlated-failure",
+        "bandwidth-degradation",
+        "paper-baseline",
+    } <= set(WORKLOADS)
+    assert workload_names() == sorted(WORKLOADS)
+
+
+def test_library_specs_are_valid_and_distinctive():
+    zapping = get_workload("zapping")
+    assert zapping.n_switches >= 3  # the multi-switch acceptance workload
+    assert len(zapping.peer_classes) == 3
+    assert get_workload("paper-baseline").base_leave_fraction == 0.05
+    assert any(p.fail_fraction > 0 for p in get_workload("correlated-failure").phases)
+    assert any(
+        p.bandwidth_scale < 1.0 for p in get_workload("bandwidth-degradation").phases
+    )
+    assert any(p.join_fraction == 0.3 for p in get_workload("flash-crowd").phases)
+
+
+def test_unknown_workload_raises_with_hint():
+    with pytest.raises(KeyError, match="available"):
+        get_workload("nope")
