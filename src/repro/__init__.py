@@ -31,6 +31,10 @@ Layout
     The time-scripted workload engine: declarative multi-switch zapping,
     churn-burst and bandwidth-regime scenarios over heterogeneous peer
     classes, executed paired and store-backed.
+:mod:`repro.channels`
+    The multi-channel universe: Zipf channel lineups, the tracker-style
+    channel directory, surfing/loyal zapping processes and whole-lineup
+    switch measurement on one shared simulation engine.
 
 Quickstart
 ----------
@@ -41,6 +45,7 @@ Quickstart
 True
 """
 
+from repro.channels import UniverseSession, UniverseSpec, run_universe
 from repro.core import (
     FastSwitchAlgorithm,
     NormalSwitchAlgorithm,
@@ -51,9 +56,9 @@ from repro.experiments.config import make_session_config
 from repro.experiments.figures import generate_figure
 from repro.experiments.runner import run_pair, run_single
 from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
-from repro.workloads import Phase, WorkloadSpec, get_workload, run_workload
+from repro.workloads import Phase, WorkloadSpec, get_universe, get_workload, run_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -72,4 +77,8 @@ __all__ = [
     "Phase",
     "get_workload",
     "run_workload",
+    "UniverseSpec",
+    "UniverseSession",
+    "get_universe",
+    "run_universe",
 ]

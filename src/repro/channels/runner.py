@@ -1,0 +1,353 @@
+"""Execute universes: paired, store-backed and parallel over channels.
+
+Execution model
+---------------
+One *repetition* of a universe is fully determined by ``(spec, seed)`` --
+the plan (lineup, per-channel seeds, zap script) is a pure function of the
+two, and every channel mesh is causally independent given the plan.  The
+runner exploits that at two granularities:
+
+* ``workers == 1`` runs each repetition through
+  :class:`~repro.channels.universe.UniverseSession`: every mesh of the
+  lineup interleaved on **one shared engine** (the canonical semantics).
+* ``workers > 1`` fans the *channels* of all pending repetitions out over
+  a process pool (:func:`~repro.channels.universe.run_universe_channel`),
+  then reassembles repetitions in deterministic channel order.  Results
+  are **bit-identical** to the serial path -- the property the acceptance
+  tests pin down.
+
+Each repetition persists as one ``universe-*`` document in the
+:class:`~repro.experiments.store.ResultStore`, keyed by a content hash of
+the full spec (dict round trip), the repetition seed and the code version;
+re-running a named universe replays from disk without simulating.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.channels.universe import (
+    ChannelOutcome,
+    UniversePlan,
+    UniverseRepResult,
+    UniverseSpec,
+    plan_universe,
+    run_planned_channel,
+    run_universe_rep,
+)
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    code_version,
+    replay_or_execute,
+    stable_hash,
+)
+from repro.metrics.report import mean_of, reduction_ratio
+from repro.metrics.universe import weighted_mean
+
+__all__ = [
+    "UniverseResult",
+    "universe_fingerprint",
+    "rep_to_dict",
+    "rep_from_dict",
+    "UniverseRunner",
+    "run_universe",
+]
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints and serialisation
+# --------------------------------------------------------------------------- #
+def universe_fingerprint(
+    spec: UniverseSpec, seed: int, *, version: Optional[str] = None
+) -> str:
+    """Stable store key of one universe repetition.
+
+    Covers the complete spec (dict round trip), the repetition seed, the
+    schema and the code version -- any change to the lineup, the viewer
+    mix, the simulator or the store layout rotates the key.
+    """
+    return "universe-" + stable_hash(
+        {
+            "kind": "universe",
+            "schema": SCHEMA_VERSION,
+            "code_version": version if version is not None else code_version(),
+            "spec": spec.to_dict(),
+            "seed": int(seed),
+        }
+    )
+
+
+def rep_to_dict(rep: UniverseRepResult) -> Dict[str, Any]:
+    """JSON-friendly dictionary form of a :class:`UniverseRepResult`."""
+    return {
+        "universe": rep.universe,
+        "seed": rep.seed,
+        "n_channels": rep.n_channels,
+        "n_viewers": rep.n_viewers,
+        "n_zaps": rep.n_zaps,
+        "surfers": rep.surfers,
+        "normal": [asdict(outcome) for outcome in rep.normal],
+        "fast": [asdict(outcome) for outcome in rep.fast],
+    }
+
+
+def rep_from_dict(payload: Mapping[str, Any]) -> UniverseRepResult:
+    """Rebuild a :class:`UniverseRepResult` (exact float round trip)."""
+    return UniverseRepResult(
+        universe=str(payload["universe"]),
+        seed=int(payload["seed"]),
+        n_channels=int(payload["n_channels"]),
+        n_viewers=int(payload["n_viewers"]),
+        n_zaps=int(payload["n_zaps"]),
+        surfers=int(payload["surfers"]),
+        normal=tuple(ChannelOutcome(**dict(o)) for o in payload["normal"]),
+        fast=tuple(ChannelOutcome(**dict(o)) for o in payload["fast"]),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# aggregated result
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class UniverseResult:
+    """All repetitions of one universe, plus aggregation helpers."""
+
+    spec: UniverseSpec
+    seed: int
+    repetitions: int
+    reps: Tuple[UniverseRepResult, ...]
+    replayed: int
+
+    @property
+    def simulated(self) -> int:
+        """How many repetitions were freshly simulated (not replayed)."""
+        return self.repetitions - self.replayed
+
+    @property
+    def n_zaps(self) -> int:
+        """Total scripted zap events across all repetitions."""
+        return sum(rep.n_zaps for rep in self.reps)
+
+    @property
+    def mean_reduction(self) -> float:
+        """Zap-time reduction of fast vs. normal over the whole lineup.
+
+        Computed from the peer-weighted mean zap time of each algorithm,
+        pooled over every channel and repetition.
+        """
+        normal = weighted_mean(
+            [(o.mean_zap_time, o.n_peers) for rep in self.reps for o in rep.normal]
+        )
+        fast = weighted_mean(
+            [(o.mean_zap_time, o.n_peers) for rep in self.reps for o in rep.fast]
+        )
+        return reduction_ratio(normal, fast)
+
+    # -- tables ---------------------------------------------------------- #
+    def channel_rows(self) -> List[Dict[str, object]]:
+        """One row per channel, averaged over repetitions."""
+        rows: List[Dict[str, object]] = []
+        for index in range(self.reps[0].n_channels if self.reps else 0):
+            normals = [rep.normal[index] for rep in self.reps]
+            fasts = [rep.fast[index] for rep in self.reps]
+            first = fasts[0]
+            normal_mean = mean_of([o.mean_zap_time for o in normals])
+            fast_mean = mean_of([o.mean_zap_time for o in fasts])
+            rows.append(
+                {
+                    "channel": first.name,
+                    "decile": first.decile,
+                    "popularity": round(first.popularity, 4),
+                    "audience": first.audience,
+                    "arrivals": mean_of([float(o.arrivals) for o in fasts]),
+                    "departures": mean_of([float(o.departures) for o in fasts]),
+                    "normal_zap_time": normal_mean,
+                    "fast_zap_time": fast_mean,
+                    "reduction": reduction_ratio(normal_mean, fast_mean),
+                    "fast_p90": mean_of([o.p90 for o in fasts]),
+                    "fast_continuity": mean_of([o.continuity for o in fasts]),
+                    "unfinished": mean_of([float(o.unfinished) for o in fasts]),
+                }
+            )
+        return rows
+
+    def decile_rows(self) -> List[Dict[str, object]]:
+        """One row per populated popularity decile, averaged over repetitions.
+
+        A decile's zap time is the peer-weighted mean over every peer of
+        its channels (exact pooling, not a mean of channel means).
+        """
+        deciles = sorted(
+            {outcome.decile for rep in self.reps for outcome in rep.fast}
+        )
+        rows: List[Dict[str, object]] = []
+        for decile in deciles:
+            normal_pairs = [
+                (o.mean_zap_time, o.n_peers)
+                for rep in self.reps
+                for o in rep.normal
+                if o.decile == decile
+            ]
+            fast_pairs = [
+                (o.mean_zap_time, o.n_peers)
+                for rep in self.reps
+                for o in rep.fast
+                if o.decile == decile
+            ]
+            channels = {
+                o.channel for rep in self.reps for o in rep.fast if o.decile == decile
+            }
+            normal_mean = weighted_mean(normal_pairs)
+            fast_mean = weighted_mean(fast_pairs)
+            rows.append(
+                {
+                    "decile": decile,
+                    "channels": len(channels),
+                    "peers": sum(n for _, n in fast_pairs) // max(1, len(self.reps)),
+                    "normal_zap_time": normal_mean,
+                    "fast_zap_time": fast_mean,
+                    "reduction": reduction_ratio(normal_mean, fast_mean),
+                }
+            )
+        return rows
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+def _execute_channel(
+    payload: Tuple[UniversePlan, int]
+) -> Tuple[ChannelOutcome, ChannelOutcome]:
+    """Worker entry point (module-level so it pickles).
+
+    Receives the repetition's already-expanded plan -- planned once in the
+    parent -- so workers never re-derive the zap script per channel.
+    """
+    plan, channel_index = payload
+    return run_planned_channel(plan, channel_index)
+
+
+class UniverseRunner:
+    """Executes universe repetitions, optionally in parallel and via a store.
+
+    Parameters
+    ----------
+    workers:
+        Maximum worker processes.  ``1`` runs each repetition on one shared
+        engine in-process; ``> 1`` fans out per channel.  Results are
+        bit-identical for any value.
+    store:
+        Optional persistent result store; repetitions found there are
+        replayed, missing ones are simulated and persisted.  A replay-only
+        store raises :class:`~repro.experiments.store.MissingResultError`
+        instead of simulating.
+    """
+
+    def __init__(self, workers: int = 1, store: Optional[ResultStore] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.store = store
+
+    def run(
+        self,
+        spec: UniverseSpec,
+        *,
+        seed: int = 0,
+        repetitions: int = 1,
+    ) -> UniverseResult:
+        """Run (or replay) ``repetitions`` independent runs of ``spec``."""
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+        rep_seeds = [seed + rep for rep in range(repetitions)]
+        keys = [universe_fingerprint(spec, rep_seed) for rep_seed in rep_seeds]
+
+        def _load(key: str) -> Optional[UniverseRepResult]:
+            document = self.store.load_universe(key)
+            return None if document is None else rep_from_dict(document["rep"])
+
+        def _save(key: str, index: int, rep: UniverseRepResult) -> None:
+            self.store.save_universe(
+                key,
+                {
+                    "universe": spec.name,
+                    "seed": rep_seeds[index],
+                    "n_channels": spec.n_channels,
+                    "n_viewers": spec.n_viewers,
+                    "spec": spec.to_dict(),
+                    "rep": rep_to_dict(rep),
+                },
+            )
+
+        reps, replayed = replay_or_execute(
+            self.store,
+            keys,
+            load=_load,
+            execute=lambda pending: self._execute(
+                spec, [rep_seeds[i] for i in pending]
+            ),
+            save=_save,
+        )
+        return UniverseResult(
+            spec=spec,
+            seed=int(seed),
+            repetitions=int(repetitions),
+            reps=tuple(reps),
+            replayed=replayed,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self, spec: UniverseSpec, seeds: Sequence[int]
+    ) -> Iterator[UniverseRepResult]:
+        if not seeds:
+            return
+        if self.workers == 1:
+            # The canonical path: all channel meshes of a repetition on one
+            # shared engine and clock.
+            for rep_seed in seeds:
+                yield run_universe_rep(spec, rep_seed)
+            return
+        # Parallel path: plan each repetition once, then fan its channels
+        # out as per-channel tasks, reassembled in deterministic
+        # (seed, channel) order.
+        plans = [plan_universe(spec, rep_seed) for rep_seed in seeds]
+        payloads = [
+            (plan, channel)
+            for plan in plans
+            for channel in range(spec.n_channels)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(payloads))
+        ) as pool:
+            pairs = list(pool.map(_execute_channel, payloads))
+        for rep_index, plan in enumerate(plans):
+            offset = rep_index * spec.n_channels
+            channel_pairs = pairs[offset : offset + spec.n_channels]
+            yield UniverseRepResult(
+                universe=spec.name,
+                seed=plan.seed,
+                n_channels=spec.n_channels,
+                n_viewers=spec.n_viewers,
+                n_zaps=plan.zap_plan.n_zaps,
+                surfers=plan.zap_plan.surfers,
+                normal=tuple(pair[0] for pair in channel_pairs),
+                fast=tuple(pair[1] for pair in channel_pairs),
+            )
+
+
+def run_universe(
+    spec: UniverseSpec,
+    *,
+    seed: int = 0,
+    repetitions: int = 1,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+) -> UniverseResult:
+    """Convenience wrapper: build a :class:`UniverseRunner` and run ``spec``."""
+    return UniverseRunner(workers=workers, store=store).run(
+        spec, seed=seed, repetitions=repetitions
+    )

@@ -1,0 +1,538 @@
+"""The multi-channel universe: N channel meshes, one clock, scripted zapping.
+
+This module promotes the single-switch session into an ecosystem
+simulation.  A :class:`UniverseSpec` declares the lineup (how many
+channels, how skewed, how many viewers) and the viewer mix (surfers vs.
+loyal); :func:`plan_universe` expands it deterministically into a
+:class:`UniversePlan` -- the Zipf lineup, per-channel spawned seeds and the
+compiled zapping script; and :class:`UniverseSession` executes every
+channel mesh, **both switch algorithms, all channels, against one shared
+discrete-event engine and clock**.
+
+Execution model
+---------------
+Each channel runs the paper's S1 -> S2 source switch over its apportioned
+audience: the switch *is* the zap as experienced by every viewer tuned to
+(or arriving at) that channel, so one universe run measures the paper's
+experiment across a whole lineup at once.  The scripted zap plan drives
+each mesh's membership churn -- departures are viewers tuning away
+mid-switch, arrivals are viewers zapping in and obtaining neighbours from
+the channel :class:`~repro.channels.directory.Directory`.
+
+Channel meshes are causally independent (a mesh never reads another mesh's
+state; cross-channel coupling lives entirely in the precomputed plan) and
+stochastically independent (per-channel seeds come from
+:func:`repro.sim.rng.sequence_seeds`).  Interleaving them on the shared
+engine is therefore observationally identical to running each mesh on its
+own engine -- which is exactly what :func:`run_universe_channel` does, and
+what the parallel runner (:mod:`repro.channels.runner`) fans out over
+worker processes.  Same seed, any worker count: bit-identical results.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.channels.directory import Directory
+from repro.channels.lineup import Channel, ChannelLineup
+from repro.channels.zapping import ZapPlan, ZappingProcess
+from repro.churn.model import ChurnConfig
+from repro.experiments.config import make_session_config
+from repro.metrics.qoe import phase_qoe
+from repro.metrics.universe import zap_time_stats
+from repro.sim.clock import round_half_up
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import sequence_seeds
+from repro.streaming.session import (
+    SessionConfig,
+    SessionResult,
+    SwitchSession,
+    build_session_overlay,
+)
+
+__all__ = [
+    "UniverseSpec",
+    "UniversePlan",
+    "ChannelOutcome",
+    "UniverseRepResult",
+    "UniverseSession",
+    "plan_universe",
+    "channel_mesh_config",
+    "run_universe_rep",
+    "run_planned_channel",
+    "run_universe_channel",
+]
+
+#: Algorithms of one paired universe run, in execution order.
+PAIRED_ALGORITHMS: Tuple[str, ...] = ("normal", "fast")
+
+#: Session-config fields the universe engine owns; spec overrides must not
+#: name them (the plan controls the timeline, population and churn).
+_RESERVED_OVERRIDES = frozenset(
+    {
+        "seed",
+        "n_nodes",
+        "algorithm",
+        "tau",
+        "max_time",
+        "run_full_horizon",
+        "record_rounds",
+        "churn",
+        "warmup",
+        "peer_classes",
+    }
+)
+
+
+@dataclass(frozen=True)
+class UniverseSpec:
+    """A complete, self-contained description of one channel universe.
+
+    Attributes
+    ----------
+    name / description:
+        Identification (the library registers universes by name).
+    n_channels:
+        Lineup size.
+    n_viewers:
+        Total viewer population shared by the lineup (each channel also
+        gets its own pair of sources on top).
+    zipf_exponent:
+        Skew of the popularity distribution (1.0 is the classic Zipf law).
+    min_audience:
+        Smallest initial audience any channel may receive; must be at
+        least the mesh minimum degree so every channel can sustain a
+        gossip overlay.
+    surfer_fraction:
+        Probability that a viewer is a channel surfer.
+    surfer_zap_rate / loyal_zap_rate:
+        Per-period zap probability of surfers / loyal viewers.
+    duration:
+        Simulated horizon in seconds (rounded to whole periods).
+    tau:
+        Scheduling period of every mesh, in seconds.
+    session_overrides:
+        Extra :class:`~repro.streaming.session.SessionConfig` fields
+        applied to every channel mesh, as a sorted tuple of pairs (JSON
+        primitives only, so specs fingerprint exactly).
+    """
+
+    name: str
+    description: str = ""
+    n_channels: int = 20
+    n_viewers: int = 1000
+    zipf_exponent: float = 1.0
+    min_audience: int = 8
+    surfer_fraction: float = 0.3
+    surfer_zap_rate: float = 0.15
+    loyal_zap_rate: float = 0.01
+    duration: float = 50.0
+    tau: float = 1.0
+    session_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("universe needs a non-empty name")
+        if self.n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1, got {self.n_channels}")
+        if self.duration <= 0 or self.tau <= 0:
+            raise ValueError("duration and tau must be positive")
+        for attr in ("surfer_fraction", "surfer_zap_rate", "loyal_zap_rate"):
+            value = getattr(self, attr)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+        object.__setattr__(
+            self,
+            "session_overrides",
+            tuple(sorted((str(k), v) for k, v in dict(self.session_overrides).items())),
+        )
+        for key, value in self.session_overrides:
+            if key in _RESERVED_OVERRIDES:
+                raise ValueError(
+                    f"session override {key!r} is owned by the universe engine"
+                )
+            if value is not None and not isinstance(value, (bool, int, float, str)):
+                raise ValueError(
+                    f"session override {key!r} must be a JSON primitive, "
+                    f"got {type(value).__name__}"
+                )
+        if self.min_audience < self.min_degree:
+            raise ValueError(
+                f"min_audience must be at least the mesh min_degree "
+                f"({self.min_degree}), got {self.min_audience}"
+            )
+        if self.n_viewers < self.n_channels * self.min_audience:
+            raise ValueError(
+                f"need at least n_channels * min_audience = "
+                f"{self.n_channels * self.min_audience} viewers, got {self.n_viewers}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def min_degree(self) -> int:
+        """The mesh minimum degree ``M`` the channel meshes will run with."""
+        return int(dict(self.session_overrides).get("min_degree", 5))
+
+    @property
+    def n_periods(self) -> int:
+        """Whole scheduling periods the universe simulates."""
+        return max(1, round_half_up(self.duration / self.tau))
+
+    @property
+    def horizon(self) -> float:
+        """Effective simulated horizon (``n_periods * tau``) in seconds."""
+        return self.n_periods * self.tau
+
+    def overrides_dict(self) -> Dict[str, Any]:
+        """The session-config overrides as a plain dictionary."""
+        return dict(self.session_overrides)
+
+    def scaled_to(
+        self, *, n_channels: Optional[int] = None, n_viewers: Optional[int] = None
+    ) -> "UniverseSpec":
+        """A copy of this spec at a different lineup/population size."""
+        return replace(
+            self,
+            n_channels=int(n_channels) if n_channels is not None else self.n_channels,
+            n_viewers=int(n_viewers) if n_viewers is not None else self.n_viewers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # dict round trip (store fingerprinting)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly dictionary form; see :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "n_channels": self.n_channels,
+            "n_viewers": self.n_viewers,
+            "zipf_exponent": self.zipf_exponent,
+            "min_audience": self.min_audience,
+            "surfer_fraction": self.surfer_fraction,
+            "surfer_zap_rate": self.surfer_zap_rate,
+            "loyal_zap_rate": self.loyal_zap_rate,
+            "duration": self.duration,
+            "tau": self.tau,
+            "session_overrides": {k: v for k, v in self.session_overrides},
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "UniverseSpec":
+        """Rebuild a spec from :meth:`to_dict` output (exact round trip)."""
+        return UniverseSpec(
+            name=str(payload["name"]),
+            description=str(payload.get("description", "")),
+            n_channels=int(payload["n_channels"]),
+            n_viewers=int(payload["n_viewers"]),
+            zipf_exponent=float(payload["zipf_exponent"]),
+            min_audience=int(payload["min_audience"]),
+            surfer_fraction=float(payload["surfer_fraction"]),
+            surfer_zap_rate=float(payload["surfer_zap_rate"]),
+            loyal_zap_rate=float(payload["loyal_zap_rate"]),
+            duration=float(payload["duration"]),
+            tau=float(payload["tau"]),
+            session_overrides=tuple(
+                sorted(dict(payload.get("session_overrides", {})).items())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class UniversePlan:
+    """The deterministic expansion of ``(spec, seed)``.
+
+    ``channel_seeds[c]`` seeds everything stochastic about channel ``c``
+    (its overlay, bandwidth draws, membership and churn selection);
+    ``zap_plan`` scripts the cross-channel traffic.  The plan is a pure
+    function of the spec and the repetition seed, so any process --
+    the serial universe session or an isolated channel worker -- derives
+    the identical plan locally instead of shipping state around.
+    """
+
+    spec: UniverseSpec
+    seed: int
+    lineup: ChannelLineup
+    channel_seeds: Tuple[int, ...]
+    zap_plan: ZapPlan
+    directory: Directory
+
+    @property
+    def n_channels(self) -> int:
+        """Lineup size."""
+        return self.lineup.n_channels
+
+
+def plan_universe(spec: UniverseSpec, seed: int) -> UniversePlan:
+    """Expand ``spec`` under ``seed`` into its :class:`UniversePlan`."""
+    seeds = sequence_seeds(seed, spec.n_channels + 1)
+    universe_seed, channel_seeds = seeds[0], tuple(seeds[1:])
+    lineup = ChannelLineup.build(
+        spec.n_channels,
+        spec.n_viewers,
+        exponent=spec.zipf_exponent,
+        min_audience=spec.min_audience,
+    )
+    directory = Directory(
+        lineup, min_degree=spec.min_degree, channel_seeds=channel_seeds
+    )
+    zapping = ZappingProcess(
+        lineup,
+        directory,
+        surfer_fraction=spec.surfer_fraction,
+        surfer_zap_rate=spec.surfer_zap_rate,
+        loyal_zap_rate=spec.loyal_zap_rate,
+        rng=np.random.default_rng(universe_seed),
+    )
+    zap_plan = zapping.generate(spec.n_periods)
+    return UniversePlan(
+        spec=spec,
+        seed=int(seed),
+        lineup=lineup,
+        channel_seeds=channel_seeds,
+        zap_plan=zap_plan,
+        directory=directory,
+    )
+
+
+def channel_mesh_config(
+    spec: UniverseSpec, channel: Channel, channel_seed: int, algorithm: str
+) -> SessionConfig:
+    """The session configuration of one channel's mesh.
+
+    The mesh holds the channel's audience plus its two sources; base churn
+    is disabled because the zap plan scripts membership changes as exact
+    per-period counts.
+    """
+    overrides = spec.overrides_dict()
+    overrides.update(
+        tau=spec.tau,
+        max_time=spec.horizon,
+        record_rounds=True,
+        run_full_horizon=True,
+        churn=ChurnConfig.disabled(),
+    )
+    return make_session_config(
+        channel.audience + 2,
+        algorithm=algorithm,
+        seed=int(channel_seed),
+        **overrides,
+    )
+
+
+def _build_channel_sessions(
+    plan: UniversePlan,
+    channel_index: int,
+    *,
+    engine: Optional[SimulationEngine] = None,
+    directory: Optional[Directory] = None,
+) -> Dict[str, SwitchSession]:
+    """Both algorithms' mesh sessions for one channel (paired on one overlay)."""
+    spec = plan.spec
+    channel = plan.lineup.channels[channel_index]
+    channel_seed = plan.channel_seeds[channel_index]
+    directory = directory if directory is not None else plan.directory
+    first = channel_mesh_config(spec, channel, channel_seed, PAIRED_ALGORITHMS[0])
+    overlay = build_session_overlay(
+        first.n_nodes,
+        channel_seed,
+        min_degree=first.min_degree,
+        trace_mean_degree=first.trace_mean_degree,
+    )
+    directives = plan.zap_plan.channel_directives(channel_index)
+    sessions: Dict[str, SwitchSession] = {}
+    for algorithm in PAIRED_ALGORITHMS:
+        config = channel_mesh_config(spec, channel, channel_seed, algorithm)
+        sessions[algorithm] = SwitchSession(
+            config,
+            overlay=overlay,
+            directives=directives,
+            engine=engine,
+            label=channel.name,
+            membership_factory=directory.membership_factory(channel_index, algorithm),
+        )
+    return sessions
+
+
+# --------------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ChannelOutcome:
+    """One channel mesh's zap-time and QoE summary under one algorithm.
+
+    Times are seconds from the switch instant (the zap, for the viewers on
+    the channel); ``mean_zap_time`` and the percentiles are over per-peer
+    switch *completion* times -- the moment the new stream's playback
+    starts, which is what a zapping viewer perceives.
+    """
+
+    channel: int
+    name: str
+    popularity: float
+    decile: int
+    algorithm: str
+    audience: int
+    n_peers: int
+    arrivals: int
+    departures: int
+    mean_zap_time: float
+    p50: float
+    p90: float
+    p99: float
+    unfinished: int
+    stall_periods: int
+    continuity: float
+    overhead_ratio: float
+
+
+@dataclass(frozen=True)
+class UniverseRepResult:
+    """Both algorithms' channel outcomes for one universe repetition."""
+
+    universe: str
+    seed: int
+    n_channels: int
+    n_viewers: int
+    n_zaps: int
+    surfers: int
+    normal: Tuple[ChannelOutcome, ...]
+    fast: Tuple[ChannelOutcome, ...]
+
+    def outcomes(self, algorithm: str) -> Tuple[ChannelOutcome, ...]:
+        """The per-channel outcomes of one algorithm."""
+        if algorithm == "normal":
+            return self.normal
+        if algorithm == "fast":
+            return self.fast
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+
+
+def _channel_outcome(
+    plan: UniversePlan,
+    channel_index: int,
+    algorithm: str,
+    result: SessionResult,
+) -> ChannelOutcome:
+    channel = plan.lineup.channels[channel_index]
+    stats = zap_time_stats(result.metrics.outcomes, horizon=result.metrics.horizon)
+    qoe = phase_qoe(
+        result.metrics.rounds, [("zapping", 0.0, plan.spec.horizon)]
+    )[0]
+    return ChannelOutcome(
+        channel=channel.index,
+        name=channel.name,
+        popularity=channel.popularity,
+        decile=plan.lineup.decile(channel.index),
+        algorithm=algorithm,
+        audience=channel.audience,
+        n_peers=stats.peers,
+        arrivals=sum(count for _, count in plan.zap_plan.arrivals[channel_index]),
+        departures=sum(count for _, count in plan.zap_plan.departures[channel_index]),
+        mean_zap_time=stats.mean,
+        p50=stats.p50,
+        p90=stats.p90,
+        p99=stats.p99,
+        unfinished=stats.unfinished,
+        stall_periods=qoe.stall_periods,
+        continuity=qoe.continuity_index,
+        overhead_ratio=result.overhead_ratio,
+    )
+
+
+def _rep_result(
+    plan: UniversePlan, outcomes: Dict[str, List[ChannelOutcome]]
+) -> UniverseRepResult:
+    return UniverseRepResult(
+        universe=plan.spec.name,
+        seed=plan.seed,
+        n_channels=plan.n_channels,
+        n_viewers=plan.spec.n_viewers,
+        n_zaps=plan.zap_plan.n_zaps,
+        surfers=plan.zap_plan.surfers,
+        normal=tuple(outcomes["normal"]),
+        fast=tuple(outcomes["fast"]),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------------- #
+class UniverseSession:
+    """One universe repetition on a single shared engine (see module docstring).
+
+    All ``2 * n_channels`` mesh sessions (both algorithms of every channel)
+    are attached to one :class:`~repro.sim.engine.SimulationEngine`; running
+    it interleaves every mesh's scheduling rounds on one clock.  Finished
+    meshes retire their periodic processes individually, so a small channel
+    completing its switch early never stalls -- or stops -- the rest of the
+    lineup.
+    """
+
+    def __init__(self, spec: UniverseSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        self.plan = plan_universe(spec, seed)
+        self.engine = SimulationEngine()
+        self.directory = self.plan.directory
+        self.sessions: Dict[Tuple[int, str], SwitchSession] = {}
+        for channel_index in range(self.plan.n_channels):
+            built = _build_channel_sessions(
+                self.plan, channel_index, engine=self.engine, directory=self.directory
+            )
+            for algorithm, session in built.items():
+                self.sessions[(channel_index, algorithm)] = session
+        self.wallclock_seconds = 0.0
+
+    def run(self) -> UniverseRepResult:
+        """Drive every mesh to the horizon and summarise per channel."""
+        started = _wallclock.perf_counter()
+        self.engine.run_until(self.spec.horizon + self.spec.tau)
+        self.wallclock_seconds = _wallclock.perf_counter() - started
+        outcomes: Dict[str, List[ChannelOutcome]] = {a: [] for a in PAIRED_ALGORITHMS}
+        for channel_index in range(self.plan.n_channels):
+            for algorithm in PAIRED_ALGORITHMS:
+                session = self.sessions[(channel_index, algorithm)]
+                outcomes[algorithm].append(
+                    _channel_outcome(
+                        self.plan, channel_index, algorithm, session.finalize()
+                    )
+                )
+        return _rep_result(self.plan, outcomes)
+
+
+def run_universe_rep(spec: UniverseSpec, seed: int) -> UniverseRepResult:
+    """Run one repetition of ``spec`` on a shared engine (the serial path)."""
+    return UniverseSession(spec, seed).run()
+
+
+def run_planned_channel(
+    plan: UniversePlan, channel_index: int
+) -> Tuple[ChannelOutcome, ChannelOutcome]:
+    """Run one channel of an already-expanded plan in isolation.
+
+    Builds only this channel's meshes (each on its own engine) and returns
+    the paired ``(normal, fast)`` outcomes -- bit-identical to the
+    corresponding entries of :func:`run_universe_rep`.  The parallel runner
+    plans once per repetition and ships the (small, picklable) plan to
+    each worker instead of re-deriving it per channel.
+    """
+    sessions = _build_channel_sessions(plan, channel_index)
+    results = []
+    for algorithm in PAIRED_ALGORITHMS:
+        session = sessions[algorithm]
+        results.append(
+            _channel_outcome(plan, channel_index, algorithm, session.run())
+        )
+    return results[0], results[1]
+
+
+def run_universe_channel(
+    spec: UniverseSpec, seed: int, channel_index: int
+) -> Tuple[ChannelOutcome, ChannelOutcome]:
+    """Run one channel of one repetition in isolation (plan + execute)."""
+    return run_planned_channel(plan_universe(spec, seed), channel_index)

@@ -91,6 +91,8 @@ class ChurnModel:
         *,
         leave_fraction: Optional[float] = None,
         join_fraction: Optional[float] = None,
+        leave_count: Optional[int] = None,
+        join_count: Optional[int] = None,
     ) -> ChurnPlan:
         """Decide which of ``eligible_ids`` leave and how many peers join.
 
@@ -103,16 +105,29 @@ class ChurnModel:
         ``leave_fraction`` / ``join_fraction`` override the configured
         intensities for this round only (the workload engine's churn
         bursts); passing overrides activates churn even when the configured
-        model is disabled.
+        model is disabled.  ``leave_count`` / ``join_count`` override with
+        *exact* realised counts instead of fractions -- the channel-zapping
+        universe scripts per-period arrival/departure counts this way.  A
+        count wins over a fraction; leaver counts are clamped to the
+        eligible population.
         """
-        overridden = leave_fraction is not None or join_fraction is not None
+        overridden = (
+            leave_fraction is not None or join_fraction is not None
+            or leave_count is not None or join_count is not None
+        )
         if (not self.config.enabled and not overridden) or not eligible_ids:
             return ChurnPlan()
         leave = self.config.leave_fraction if leave_fraction is None else float(leave_fraction)
         join = self.config.join_fraction if join_fraction is None else float(join_fraction)
         population = len(eligible_ids)
-        n_leave = min(round_half_up(leave * population), population)
-        n_join = round_half_up(join * population)
+        if leave_count is not None:
+            n_leave = min(max(0, int(leave_count)), population)
+        else:
+            n_leave = min(round_half_up(leave * population), population)
+        if join_count is not None:
+            n_join = max(0, int(join_count))
+        else:
+            n_join = round_half_up(join * population)
         leavers: List[int] = []
         if n_leave > 0:
             picked = self._rng.choice(population, size=n_leave, replace=False)

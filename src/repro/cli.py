@@ -31,7 +31,15 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
     The time-scripted workload engine: list the named workloads, run one
     (paired fast-vs-normal, store-backed, parallel over ``--repetitions``
     with ``--workers``), or print the paired switch-time comparison.
-    ``--from-store`` forbids simulation (pure replay).
+    ``--from-store`` forbids simulation (pure replay).  ``--json`` emits a
+    machine-readable payload (``compare --json`` a focused comparison one).
+
+``universe ls`` / ``universe run NAME`` / ``universe compare NAME``
+    The multi-channel universe: list the named universes, run one (a Zipf
+    channel lineup with surfing/loyal zapping; every channel's paired
+    fast-vs-normal switch, store-backed, ``--workers`` fans channels out
+    bit-identically), or print only the per-popularity-decile zap-time
+    comparison.  ``--channels`` / ``--viewers`` rescale the lineup.
 
 ``scenario NAME``
     Run one of the named example scenarios -- thin wrappers over workload
@@ -61,7 +69,15 @@ from repro.experiments.sweeps import run_size_sweep
 from repro.metrics.report import format_table
 from repro.overlay.generator import generate_trace
 from repro.overlay.trace import write_trace
-from repro.workloads.library import WORKLOADS, get_workload, workload_names
+from repro.channels.runner import UniverseResult, run_universe
+from repro.workloads.library import (
+    UNIVERSES,
+    WORKLOADS,
+    get_universe,
+    get_workload,
+    universe_names,
+    workload_names,
+)
 from repro.workloads.runner import WorkloadResult, run_workload
 from repro.workloads.spec import WorkloadSpec
 
@@ -203,6 +219,35 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="print only the paired switch-time comparison")
         workload_run.add_argument("--json", action="store_true")
         _add_store_arguments(workload_run)
+
+    universe = sub.add_parser(
+        "universe", help="list or run the multi-channel zapping universes"
+    )
+    universe_sub = universe.add_subparsers(dest="universe_command", required=True)
+    universe_ls = universe_sub.add_parser("ls", help="list the named universes")
+    universe_ls.add_argument("--json", action="store_true")
+    for verb, verb_help in (
+        ("run", "run a named universe (paired fast-vs-normal on every channel)"),
+        ("compare", "run a named universe and print the per-decile comparison"),
+    ):
+        universe_run = universe_sub.add_parser(verb, help=verb_help)
+        universe_run.add_argument("name", choices=universe_names())
+        universe_run.add_argument("--seed", type=int, default=0)
+        universe_run.add_argument("--channels", type=_positive_int, default=None,
+                                  help="override the universe's lineup size")
+        universe_run.add_argument("--viewers", type=_positive_int, default=None,
+                                  help="override the universe's viewer population")
+        universe_run.add_argument("--repetitions", type=_positive_int, default=1,
+                                  help="independent repetitions (seed, seed+1, ...)")
+        universe_run.add_argument("--workers", type=_positive_int, default=1,
+                                  help="worker processes (per-channel fan-out); "
+                                       "bit-identical to --workers 1")
+        universe_run.add_argument("--from-store", action="store_true",
+                                  help="replay from the result store only; never simulate")
+        universe_run.add_argument("--compare", action="store_true",
+                                  help="print only the per-decile zap-time comparison")
+        universe_run.add_argument("--json", action="store_true")
+        _add_store_arguments(universe_run)
 
     scen = sub.add_parser("scenario", help="run a named example scenario")
     scen.add_argument("name", choices=sorted(SCENARIOS))
@@ -382,6 +427,22 @@ def _workload_payload(result: WorkloadResult) -> dict:
     }
 
 
+def _workload_compare_payload(result: WorkloadResult) -> dict:
+    """Focused machine-readable comparison (``workload compare --json``).
+
+    Strips the per-class and per-phase detail down to what a benchmark
+    harness consumes: the paired per-switch rows and the mean reduction.
+    """
+    return {
+        "workload": result.spec.name,
+        "n_nodes": result.spec.n_nodes,
+        "seed": result.seed,
+        "repetitions": result.repetitions,
+        "mean_reduction": result.mean_reduction,
+        "switch_rows": result.switch_rows(),
+    }
+
+
 def _print_workload_result(result: WorkloadResult, *, compare_only: bool) -> None:
     spec = result.spec
     print(f"workload: {spec.name} -- {spec.description}")
@@ -417,11 +478,18 @@ def _run_workload_spec(spec: WorkloadSpec, args: argparse.Namespace) -> int:
             workers=args.workers,
             store=store,
         )
-    except MissingResultError as error:
+    except (MissingResultError, ValueError) as error:
+        # ValueError: spec/size combinations the engine rejects (e.g. an
+        # overlay too small for the minimum degree) -- user input, not a bug.
         print(f"error: {error}", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps(_workload_payload(result), indent=2))
+        payload = (
+            _workload_compare_payload(result)
+            if getattr(args, "compare", False)
+            else _workload_payload(result)
+        )
+        print(json.dumps(payload, indent=2))
     else:
         _print_workload_result(result, compare_only=args.compare)
         if store is not None:
@@ -452,6 +520,90 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return _run_workload_spec(get_workload(args.name), args)
 
 
+def _universe_payload(result: UniverseResult, *, compare_only: bool) -> dict:
+    """Machine-readable form of a universe run (the ``--json`` output)."""
+    payload = {
+        "universe": result.spec.name,
+        "n_channels": result.spec.n_channels,
+        "n_viewers": result.spec.n_viewers,
+        "seed": result.seed,
+        "repetitions": result.repetitions,
+        "simulated": result.simulated,
+        "replayed": result.replayed,
+        "n_zaps": result.n_zaps,
+        "mean_reduction": result.mean_reduction,
+        "decile_rows": result.decile_rows(),
+    }
+    if not compare_only:
+        payload["channel_rows"] = result.channel_rows()
+    return payload
+
+
+def _print_universe_result(result: UniverseResult, *, compare_only: bool) -> None:
+    spec = result.spec
+    print(f"universe: {spec.name} -- {spec.description}")
+    print(
+        f"channels={spec.n_channels} viewers={spec.n_viewers} "
+        f"zipf_exponent={spec.zipf_exponent} horizon={spec.horizon:.0f}s "
+        f"repetitions={result.repetitions} "
+        f"(simulated {result.simulated}, replayed {result.replayed}) "
+        f"zaps={result.n_zaps}"
+    )
+    print()
+    if not compare_only:
+        print(format_table(result.channel_rows()))
+        print()
+        print("per-popularity-decile zap time (s):")
+    print(format_table(result.decile_rows()))
+    print(f"\nmean zap-time reduction: {result.mean_reduction:.1%}")
+
+
+def _cmd_universe(args: argparse.Namespace) -> int:
+    if args.universe_command == "ls":
+        rows = [
+            {
+                "name": spec.name,
+                "channels": spec.n_channels,
+                "viewers": spec.n_viewers,
+                "zipf_exponent": spec.zipf_exponent,
+                "surfers": f"{spec.surfer_fraction:.0%}@{spec.surfer_zap_rate:.0%}/period",
+                "duration_s": spec.duration,
+            }
+            for _, spec in sorted(UNIVERSES.items())
+        ]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_table(rows))
+        return 0
+    if args.universe_command == "compare":
+        args.compare = True
+    spec = get_universe(args.name)
+    store = _resolve_store(args, replay_only=args.from_store, required=args.from_store)
+    try:
+        if args.channels is not None or args.viewers is not None:
+            spec = spec.scaled_to(n_channels=args.channels, n_viewers=args.viewers)
+        result = run_universe(
+            spec,
+            seed=args.seed,
+            repetitions=args.repetitions,
+            workers=args.workers,
+            store=store,
+        )
+    except (MissingResultError, ValueError) as error:
+        # ValueError: lineup/population combinations the spec rejects (e.g.
+        # too few viewers for the lineup) -- user input, not a bug.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(_universe_payload(result, compare_only=args.compare), indent=2))
+    else:
+        _print_universe_result(result, compare_only=args.compare)
+        if store is not None:
+            print(f"results persisted under {store.root}")
+    return 0
+
+
 def _cmd_scenario(args: argparse.Namespace) -> int:
     scenario = SCENARIOS[args.name]
     print(f"scenario: {scenario.name} -- {scenario.description}", file=sys.stderr)
@@ -473,6 +625,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
     "workload": _cmd_workload,
+    "universe": _cmd_universe,
     "scenario": _cmd_scenario,
     "trace": _cmd_trace,
 }

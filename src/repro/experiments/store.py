@@ -24,6 +24,11 @@ Two granularities are stored:
     exactly and let a repeated sweep invocation return without opening the
     per-pair documents.
 
+Higher layers add their own kinds through the same envelope: ``workload``
+documents (one workload repetition, :mod:`repro.workloads.runner`) and
+``universe`` documents (one channel-universe repetition,
+:mod:`repro.channels.runner`).
+
 Keys change whenever the configuration *or* the code version changes, so a
 store never serves results produced by a different simulator; stale
 entries are simply never read again (``repro-gossip store clear`` removes
@@ -47,7 +52,18 @@ import os
 from dataclasses import asdict, dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.churn.model import ChurnConfig
 from repro.metrics.report import metrics_from_dict, metrics_to_dict
@@ -71,6 +87,7 @@ __all__ = [
     "StoreEntry",
     "ResultStore",
     "default_results_dir",
+    "replay_or_execute",
 ]
 
 #: Bumped whenever the on-disk layout changes; part of every key, so a
@@ -279,6 +296,11 @@ def _describe(document: Mapping[str, Any]) -> str:
             f"workload={document.get('workload')} seed={document.get('seed')} "
             f"n_nodes={document.get('n_nodes')}"
         )
+    if kind == "universe":
+        return (
+            f"universe={document.get('universe')} seed={document.get('seed')} "
+            f"channels={document.get('n_channels')} viewers={document.get('n_viewers')}"
+        )
     return ""
 
 
@@ -446,6 +468,25 @@ class ResultStore:
             return None
         return payload
 
+    # -- universe documents ------------------------------------------------ #
+    def save_universe(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Persist one universe-repetition document under ``key``.
+
+        ``payload`` is the JSON form produced by the channel-universe
+        runner (:mod:`repro.channels.runner`); like workload documents,
+        the store only stamps the common envelope fields.
+        """
+        document = dict(payload)
+        document["kind"] = "universe"
+        return self.save(key, document)
+
+    def load_universe(self, key: str) -> Optional[Dict[str, Any]]:
+        """The universe document stored under ``key`` (or ``None``)."""
+        payload = self.load(key)
+        if payload is None or payload.get("kind") != "universe":
+            return None
+        return payload
+
     # -- sweep documents ------------------------------------------------- #
     def save_sweep(self, key: str, sweep: "SizeSweepResult", params: Mapping[str, Any]) -> Path:
         """Persist one aggregated size sweep under ``key``."""
@@ -464,7 +505,7 @@ class ResultStore:
     #: Filename globs of the store's own documents.  ``keys``/``clear``
     #: only ever touch these shapes, so pointing ``--results-dir`` at a
     #: directory that also holds unrelated ``.json`` files is safe.
-    _DOCUMENT_GLOBS = ("pair-*.json", "sweep-*.json", "workload-*.json")
+    _DOCUMENT_GLOBS = ("pair-*.json", "sweep-*.json", "workload-*.json", "universe-*.json")
 
     def _document_paths(self) -> List[Path]:
         paths: List[Path] = []
@@ -524,9 +565,9 @@ class ResultStore:
     def clear(self) -> int:
         """Delete every stored document; returns how many were removed.
 
-        Only the store's own documents (``pair-*``/``sweep-*`` and their
-        metadata sidecars) are touched; unrelated files in the directory
-        survive.  Sidecars are deleted too but not counted.
+        Only the store's own documents (see :attr:`_DOCUMENT_GLOBS`) and
+        their metadata sidecars are touched; unrelated files in the
+        directory survive.  Sidecars are deleted too but not counted.
         """
         removed = 0
         for path in self._document_paths():
@@ -548,3 +589,62 @@ class ResultStore:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = ", replay_only=True" if self.replay_only else ""
         return f"ResultStore({str(self.root)!r}{mode})"
+
+
+_T = TypeVar("_T")
+
+
+def replay_or_execute(
+    store: Optional[ResultStore],
+    keys: Sequence[str],
+    *,
+    load: Callable[[str], Optional[_T]],
+    execute: Callable[[List[int]], Iterable[_T]],
+    save: Callable[[str, int, _T], None],
+) -> Tuple[List[_T], int]:
+    """The shared replay-or-simulate loop over repetition documents.
+
+    Both repetition-based engines (workloads, channel universes) follow the
+    same store discipline: look every repetition key up first, refuse to
+    simulate on a replay-only store, execute only the missing repetitions
+    and persist each one as soon as it completes (interrupted runs keep
+    their finished repetitions).  This helper owns that discipline once.
+
+    Parameters
+    ----------
+    store:
+        The result store, or ``None`` to always execute.
+    keys:
+        One store key per repetition, in result order.
+    load:
+        Decode the stored repetition for a key (``None`` on a miss).
+    execute:
+        Produce fresh results for the given pending indices, lazily and in
+        that order.
+    save:
+        Persist one freshly executed repetition (key, index, result).
+
+    Returns
+    -------
+    The repetition results in key order, and how many were replayed.
+    """
+    results: Dict[int, _T] = {}
+    pending: List[int] = []
+    if store is not None:
+        for index, key in enumerate(keys):
+            loaded = load(key)
+            if loaded is not None:
+                results[index] = loaded
+            else:
+                pending.append(index)
+        if pending and store.replay_only:
+            raise store.missing(keys[pending[0]])
+    else:
+        pending = list(range(len(keys)))
+
+    for index, result in zip(pending, execute(pending)):
+        results[index] = result
+        if store is not None:
+            save(keys[index], index, result)
+
+    return [results[index] for index in range(len(keys))], len(keys) - len(pending)

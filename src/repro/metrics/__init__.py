@@ -33,6 +33,7 @@ from repro.metrics.report import (
     format_table,
     reduction_ratio,
 )
+from repro.metrics.universe import ZapTimeStats, decile_of, weighted_mean, zap_time_stats
 
 __all__ = [
     "MetricsCollector",
@@ -49,4 +50,8 @@ __all__ = [
     "compare_metrics",
     "format_table",
     "reduction_ratio",
+    "ZapTimeStats",
+    "zap_time_stats",
+    "decile_of",
+    "weighted_mean",
 ]

@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.metrics.collectors import PeerOutcome, RoundSample, SwitchMetrics
 
 __all__ = [
+    "mean_of",
     "reduction_ratio",
     "ComparisonRow",
     "compare_metrics",
@@ -25,6 +26,12 @@ __all__ = [
     "metrics_to_dict",
     "metrics_from_dict",
 ]
+
+
+def mean_of(values: Sequence[float]) -> float:
+    """Plain mean of a sequence; 0.0 when empty (tables over zero reps)."""
+    values = list(values)
+    return float(sum(values) / len(values)) if values else 0.0
 
 
 def reduction_ratio(normal_value: float, fast_value: float) -> float:

@@ -1,0 +1,99 @@
+"""Per-channel and per-popularity-decile zap-time aggregation.
+
+The multi-channel universe (:mod:`repro.channels`) measures the paper's
+source switch once per channel of a Zipf lineup; this module owns the
+statistics the universe reports:
+
+* :func:`zap_time_stats` -- the per-peer *zap time* distribution of one
+  channel mesh (mean and 50th/90th/99th percentiles).  The zap time of a
+  peer is its switch completion time: the moment playback of the new
+  stream actually starts (the viewer sees the new channel).  Peers that
+  never completed within the horizon contribute the horizon, mirroring
+  :class:`~repro.metrics.collectors.MetricsCollector`.
+* :func:`decile_of` -- the popularity-decile bucketing shared by the
+  lineup and the reports: decile 0 is the most popular tenth of the
+  lineup, decile 9 the least popular.
+* :func:`weighted_mean` -- peer-count-weighted averaging used to roll
+  per-channel means up to deciles exactly (a decile's mean zap time is the
+  mean over all peers of its channels, not the mean of channel means).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.collectors import PeerOutcome
+
+__all__ = ["ZapTimeStats", "zap_time_stats", "decile_of", "weighted_mean"]
+
+
+@dataclass(frozen=True)
+class ZapTimeStats:
+    """Zap-time distribution of one channel mesh under one algorithm."""
+
+    peers: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    unfinished: int
+
+
+def zap_time_stats(
+    outcomes: Sequence[PeerOutcome], *, horizon: float
+) -> ZapTimeStats:
+    """Per-peer zap-time statistics over one channel's tracked peers.
+
+    Percentiles use linear interpolation on the sorted samples; an empty
+    outcome list yields all-zero statistics (a channel whose mesh emptied
+    out before the switch completed).
+    """
+    values: List[float] = []
+    unfinished = 0
+    for outcome in outcomes:
+        if outcome.switch_complete_time is None:
+            unfinished += 1
+            values.append(float(horizon))
+        else:
+            values.append(float(outcome.switch_complete_time))
+    if not values:
+        return ZapTimeStats(peers=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, unfinished=0)
+    samples = np.sort(np.asarray(values, dtype=float))
+    p50, p90, p99 = (float(v) for v in np.percentile(samples, [50.0, 90.0, 99.0]))
+    return ZapTimeStats(
+        peers=int(samples.size),
+        mean=float(samples.mean()),
+        p50=p50,
+        p90=p90,
+        p99=p99,
+        unfinished=unfinished,
+    )
+
+
+def decile_of(rank: int, n_channels: int) -> int:
+    """Popularity decile of the channel at popularity ``rank`` (0-based).
+
+    The lineup is split into ten equal rank bands; with fewer than ten
+    channels some deciles are simply unpopulated.
+
+    Examples
+    --------
+    >>> [decile_of(r, 20) for r in (0, 1, 2, 18, 19)]
+    [0, 0, 1, 9, 9]
+    """
+    if n_channels < 1:
+        raise ValueError(f"n_channels must be >= 1, got {n_channels}")
+    if not (0 <= rank < n_channels):
+        raise ValueError(f"rank must be in [0, {n_channels}), got {rank}")
+    return (rank * 10) // n_channels
+
+
+def weighted_mean(pairs: Sequence[Tuple[float, int]]) -> float:
+    """Mean of ``(value, weight)`` pairs; 0.0 when the weights sum to zero."""
+    total = sum(weight for _, weight in pairs)
+    if total <= 0:
+        return 0.0
+    return sum(value * weight for value, weight in pairs) / total

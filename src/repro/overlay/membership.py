@@ -77,6 +77,9 @@ class MembershipService:
     def join(self, info: Optional[NodeInfo] = None) -> int:
         """Add a new node with ``min_degree`` random alive neighbours.
 
+        When fewer than ``min_degree`` other nodes are alive the joiner gets
+        a partial neighbour set (everyone alive) -- see :meth:`repair`.
+
         Returns the id of the new node.
         """
         if info is None:
@@ -101,18 +104,34 @@ class MembershipService:
         self.leaves += 1
         return former
 
+    @property
+    def effective_min_degree(self) -> int:
+        """The degree target actually reachable with the current population.
+
+        When fewer than ``min_degree + 1`` nodes are alive the full target is
+        unattainable (a node cannot have more neighbours than there are other
+        nodes), so membership maintenance degrades gracefully to the complete
+        graph on the survivors instead of chasing -- and repeatedly re-drawing
+        partners for -- an impossible deficit.
+        """
+        return min(self.min_degree, max(0, len(self.overlay) - 1))
+
     def repair(self, node_ids: Optional[Sequence[int]] = None) -> int:
         """Restore the minimum degree of the given nodes (default: all).
 
-        Returns the number of edges added.
+        Returns the number of edges added.  With fewer than ``min_degree + 1``
+        alive nodes the repair targets :attr:`effective_min_degree` instead --
+        nodes keep a partial neighbour set and a saturated (complete) overlay
+        is a no-op rather than a perpetual retry.
         """
         if node_ids is None:
             node_ids = self.overlay.node_ids
+        target = self.effective_min_degree
         added = 0
         for node_id in node_ids:
             if node_id not in self.overlay:
                 continue
-            deficit = self.min_degree - self.overlay.degree(node_id)
+            deficit = target - self.overlay.degree(node_id)
             if deficit > 0:
                 added += self._connect_to_random_partners(node_id, deficit)
         if added:

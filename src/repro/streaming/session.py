@@ -92,6 +92,11 @@ class PeriodDirective:
         the configured model; a value activates churn even when the
         configured model is disabled -- a churn burst over a static
         baseline).
+    leave_count / join_count:
+        Exact membership-change counts for this period, winning over the
+        fractions.  The channel-zapping universe compiles its per-channel
+        arrival/departure schedules into counts, so every mesh executes
+        precisely the scripted number of joins and leaves.
     bandwidth_scale:
         Multiplies every node's outbound budget for this period (congestion
         regimes; 1.0 is neutral).
@@ -106,6 +111,8 @@ class PeriodDirective:
 
     leave_fraction: Optional[float] = None
     join_fraction: Optional[float] = None
+    leave_count: Optional[int] = None
+    join_count: Optional[int] = None
     bandwidth_scale: float = 1.0
     fail_fraction: float = 0.0
     phase: str = ""
@@ -115,6 +122,10 @@ class PeriodDirective:
             value = getattr(self, name)
             if value is not None and not (0.0 <= value <= 1.0):
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in ("leave_count", "join_count"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
         if self.bandwidth_scale <= 0:
             raise ValueError(
                 f"bandwidth_scale must be positive, got {self.bandwidth_scale}"
@@ -128,6 +139,8 @@ class PeriodDirective:
         return (
             self.leave_fraction is None
             and self.join_fraction is None
+            and self.leave_count is None
+            and self.join_count is None
             and self.bandwidth_scale == 1.0
             and self.fail_fraction == 0.0
         )
@@ -335,7 +348,36 @@ class SessionResult:
 
 
 class SwitchSession:
-    """One end-to-end source-switch simulation (see module docstring)."""
+    """One end-to-end source-switch simulation (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        The full run configuration.
+    algorithm_factory:
+        Override for the switch-algorithm constructor (defaults to the
+        configured algorithm).
+    overlay:
+        Pre-built overlay to start from (the session takes its own copy);
+        defaults to building one from the config.
+    directives:
+        Per-period environment overrides (the workload/universe engines).
+    engine:
+        A *shared* :class:`~repro.sim.engine.SimulationEngine` to attach to.
+        When given, the session schedules its rounds on that engine but does
+        not drive it: a finished session quietly retires its periodic
+        process instead of stopping the engine, so many independent channel
+        meshes can run interleaved on one clock (the multi-channel
+        universe).  The owner runs the engine and calls :meth:`finalize` on
+        each session.  Shared sessions require the analytic warm-up (a
+        shared clock starts at 0).
+    label:
+        Free-form tag (e.g. the channel name) carried for bookkeeping.
+    membership_factory:
+        Override for membership-service construction; called with the
+        session's overlay and the protected source ids.  The channel
+        directory injects per-channel membership services this way.
+    """
 
     def __init__(
         self,
@@ -344,14 +386,28 @@ class SwitchSession:
         algorithm_factory: Optional[Callable[[], SwitchAlgorithm]] = None,
         overlay: Optional[Overlay] = None,
         directives: Optional[Mapping[int, PeriodDirective]] = None,
+        engine: Optional[SimulationEngine] = None,
+        label: str = "",
+        membership_factory: Optional[
+            Callable[[Overlay, frozenset], MembershipService]
+        ] = None,
     ) -> None:
         self.config = config
+        self.label = label
         self._algorithm_factory = algorithm_factory or config.make_algorithm
+        self._membership_factory = membership_factory
         self._directives: Dict[int, PeriodDirective] = dict(directives or {})
         self.streams = RandomStreams(config.seed)
-        self.engine = SimulationEngine(
+        self._owns_engine = engine is None
+        if engine is not None and config.warmup == "simulated":
+            raise ValueError(
+                "a session on a shared engine requires the analytic warm-up"
+            )
+        self.engine = engine if engine is not None else SimulationEngine(
             start_time=-config.warmup_duration if config.warmup == "simulated" else 0.0
         )
+        self._stop_reason: Optional[str] = None
+        self._wallclock = 0.0
         self.overlay = overlay.copy() if overlay is not None else self._build_overlay()
         self.peers: Dict[int, PeerNode] = {}
         self.sources: Dict[int, SourceNode] = {}
@@ -387,12 +443,16 @@ class SwitchSession:
         self._create_sources()
         self._create_peers()
 
-        self.membership = MembershipService(
-            self.overlay,
-            cfg.min_degree,
-            self.streams.get("membership"),
-            protected={self.old_source_id, self.new_source_id},
-        )
+        protected = frozenset({self.old_source_id, self.new_source_id})
+        if self._membership_factory is not None:
+            self.membership = self._membership_factory(self.overlay, protected)
+        else:
+            self.membership = MembershipService(
+                self.overlay,
+                cfg.min_degree,
+                self.streams.get("membership"),
+                protected=protected,
+            )
         self.churn = ChurnModel(cfg.churn, self.streams.get("churn"))
         self.ledger = OutboundLedger(self._outbound, cfg.tau)
 
@@ -406,11 +466,11 @@ class SwitchSession:
         self.collector.sample_round(
             max(self.engine.now, 0.0), list(self.peers.values()), self._departed_stalls
         )
-        self.engine.schedule_periodic(
+        self._periodic = self.engine.schedule_periodic(
             cfg.tau,
             self._round,
             start=self.engine.now + cfg.tau,
-            label="scheduling-round",
+            label=f"scheduling-round:{self.label}" if self.label else "scheduling-round",
         )
 
     def _choose_sources(self, rng: np.random.Generator) -> Tuple[int, int]:
@@ -592,8 +652,20 @@ class SwitchSession:
                 self._apply_correlated_failure(directive.fail_fraction)
             leave = directive.leave_fraction if directive is not None else None
             join = directive.join_fraction if directive is not None else None
-            if cfg.churn.enabled or leave is not None or join is not None:
-                self._apply_churn(now, leave_fraction=leave, join_fraction=join)
+            leave_n = directive.leave_count if directive is not None else None
+            join_n = directive.join_count if directive is not None else None
+            if (
+                cfg.churn.enabled
+                or leave is not None or join is not None
+                or leave_n is not None or join_n is not None
+            ):
+                self._apply_churn(
+                    now,
+                    leave_fraction=leave,
+                    join_fraction=join,
+                    leave_count=leave_n,
+                    join_count=join_n,
+                )
 
         for source in self.sources.values():
             source.generate_until(now)
@@ -683,10 +755,16 @@ class SwitchSession:
         *,
         leave_fraction: Optional[float] = None,
         join_fraction: Optional[float] = None,
+        leave_count: Optional[int] = None,
+        join_count: Optional[int] = None,
     ) -> None:
         eligible = sorted(self.peers.keys())
         plan = self.churn.plan_round(
-            eligible, leave_fraction=leave_fraction, join_fraction=join_fraction
+            eligible,
+            leave_fraction=leave_fraction,
+            join_fraction=join_fraction,
+            leave_count=leave_count,
+            join_count=join_count,
         )
         if plan.empty:
             return
@@ -816,20 +894,46 @@ class SwitchSession:
     # termination and results
     # ------------------------------------------------------------------ #
     def _maybe_stop(self, now: float) -> None:
+        reason: Optional[str] = None
         tracked_alive = [p for p in self.peers.values() if p.tracked]
         if not tracked_alive:
-            raise StopSimulation("no tracked peers remain")
-        if not self.config.run_full_horizon and all(p.switch_done for p in tracked_alive):
-            raise StopSimulation("all tracked peers switched")
-        if now >= self.config.max_time:
-            raise StopSimulation("time horizon reached")
+            reason = "no tracked peers remain"
+        elif not self.config.run_full_horizon and all(p.switch_done for p in tracked_alive):
+            reason = "all tracked peers switched"
+        elif now >= self.config.max_time:
+            reason = "time horizon reached"
+        if reason is None:
+            return
+        self._stop_reason = reason
+        if self._owns_engine:
+            raise StopSimulation(reason)
+        # On a shared engine the session only retires itself: other channel
+        # meshes keep running on the same clock.
+        self._periodic.stop()
+
+    @property
+    def finished(self) -> bool:
+        """Whether this session has stopped scheduling rounds."""
+        return self._stop_reason is not None
 
     def run(self) -> SessionResult:
-        """Run the simulation to completion and return the results."""
+        """Run the simulation to completion and return the results.
+
+        Only valid for a session that owns its engine; sessions attached to
+        a shared engine are driven by their owner, which then collects each
+        session's result through :meth:`finalize`.
+        """
+        if not self._owns_engine:
+            raise RuntimeError(
+                "session runs on a shared engine; run that engine and call finalize()"
+            )
         started = _wallclock.perf_counter()
         self.engine.run_until(self.config.max_time + self.config.tau)
-        elapsed = _wallclock.perf_counter() - started
+        self._wallclock = _wallclock.perf_counter() - started
+        return self.finalize()
 
+    def finalize(self) -> SessionResult:
+        """Build the :class:`SessionResult` from the session's current state."""
         # Peers that left through churn only contribute if they completed
         # their switch before leaving; peers that departed mid-switch carry
         # no meaningful completion time (the paper's dynamic scenario lets
@@ -852,8 +956,8 @@ class SwitchSession:
             average_degree=self.overlay.average_degree(),
             overhead_ratio=self.overhead.overhead_ratio(),
             overhead_series=self.overhead.ratio_series(),
-            wallclock_seconds=elapsed,
-            stop_reason=self.engine.stop_reason or "queue exhausted",
+            wallclock_seconds=self._wallclock,
+            stop_reason=self._stop_reason or "queue exhausted",
         )
 
 

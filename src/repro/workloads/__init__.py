@@ -22,7 +22,9 @@ Modules
 :mod:`repro.workloads.library`
     The registry of named workloads (``zapping``, ``flash-crowd``,
     ``evening-peak``, ``correlated-failure``, ``bandwidth-degradation``,
-    ``paper-baseline``).
+    ``paper-baseline``) and of named multi-channel universes
+    (``lineup-zipf``, ``prime-time``, ``lineup-mini``; see
+    :mod:`repro.channels`).
 
 Quickstart
 ----------
@@ -32,7 +34,15 @@ Quickstart
 True
 """
 
-from repro.workloads.library import IPTV_CLASSES, WORKLOADS, get_workload, workload_names
+from repro.workloads.library import (
+    IPTV_CLASSES,
+    UNIVERSES,
+    WORKLOADS,
+    get_universe,
+    get_workload,
+    universe_names,
+    workload_names,
+)
 from repro.workloads.runner import (
     SwitchOutcome,
     WorkloadRepResult,
@@ -69,4 +79,7 @@ __all__ = [
     "IPTV_CLASSES",
     "get_workload",
     "workload_names",
+    "UNIVERSES",
+    "get_universe",
+    "universe_names",
 ]

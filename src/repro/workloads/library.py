@@ -28,15 +28,29 @@ under static or uniform 5 %/5 % membership):
 All sizes are laptop/CI friendly; use
 :meth:`~repro.workloads.spec.WorkloadSpec.scaled_to` (or the CLI's
 ``--n-nodes``) for larger populations.
+
+The library also registers the named **multi-channel universes**
+(:data:`UNIVERSES`): whole-lineup zapping simulations built on
+:mod:`repro.channels`, headlined by ``lineup-zipf`` -- a 20-channel Zipf
+lineup with 1000 surfing/loyal viewers.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.channels.universe import UniverseSpec
 from repro.workloads.spec import PeerClass, Phase, WorkloadSpec
 
-__all__ = ["IPTV_CLASSES", "WORKLOADS", "get_workload", "workload_names"]
+__all__ = [
+    "IPTV_CLASSES",
+    "WORKLOADS",
+    "get_workload",
+    "workload_names",
+    "UNIVERSES",
+    "get_universe",
+    "universe_names",
+]
 
 
 #: A standard heterogeneous access-class mix (rates in segments/second,
@@ -169,4 +183,75 @@ def get_workload(name: str) -> WorkloadSpec:
     except KeyError as exc:
         raise KeyError(
             f"unknown workload {name!r}; available: {workload_names()}"
+        ) from exc
+
+
+#: Named multi-channel universes (see :mod:`repro.channels`).  The headline
+#: entry is ``lineup-zipf``: the paper's switch measured across a whole
+#: 20-channel Zipf lineup with a thousand surfing/loyal viewers.
+UNIVERSES: Dict[str, UniverseSpec] = {
+    spec.name: spec
+    for spec in (
+        UniverseSpec(
+            name="lineup-zipf",
+            description=(
+                "A 20-channel Zipf lineup shared by 1000 viewers; 30% "
+                "surfers hop channels at 15%/period while loyal viewers "
+                "stay put, and every channel runs the paired fast-vs-"
+                "normal switch."
+            ),
+            n_channels=20,
+            n_viewers=1000,
+            zipf_exponent=1.0,
+            surfer_fraction=0.3,
+            surfer_zap_rate=0.15,
+            loyal_zap_rate=0.01,
+            duration=50.0,
+        ),
+        UniverseSpec(
+            name="prime-time",
+            description=(
+                "A steeper lineup (exponent 1.4) under heavy surfing: half "
+                "the viewers zap at 25%/period -- the stress case for "
+                "directory-backed membership repair."
+            ),
+            n_channels=12,
+            n_viewers=600,
+            zipf_exponent=1.4,
+            surfer_fraction=0.5,
+            surfer_zap_rate=0.25,
+            loyal_zap_rate=0.02,
+            duration=45.0,
+        ),
+        UniverseSpec(
+            name="lineup-mini",
+            description=(
+                "A CI/laptop-sized universe: 6 channels, 90 viewers, "
+                "moderate surfing.  The smoke-test entry."
+            ),
+            n_channels=6,
+            n_viewers=90,
+            zipf_exponent=1.0,
+            min_audience=8,
+            surfer_fraction=0.3,
+            surfer_zap_rate=0.1,
+            loyal_zap_rate=0.01,
+            duration=25.0,
+        ),
+    )
+}
+
+
+def universe_names() -> List[str]:
+    """Registered universe names, sorted."""
+    return sorted(UNIVERSES)
+
+
+def get_universe(name: str) -> UniverseSpec:
+    """The named universe spec (``KeyError`` with a hint otherwise)."""
+    try:
+        return UNIVERSES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown universe {name!r}; available: {universe_names()}"
         ) from exc

@@ -36,6 +36,7 @@ from repro.experiments.store import (
     SCHEMA_VERSION,
     ResultStore,
     code_version,
+    replay_or_execute,
     stable_hash,
 )
 from repro.churn.model import ChurnConfig
@@ -47,7 +48,7 @@ from repro.metrics.qoe import (
     per_class_switch_stats,
     phase_qoe,
 )
-from repro.metrics.report import reduction_ratio
+from repro.metrics.report import mean_of, reduction_ratio
 from repro.sim.rng import derive_seed
 from repro.streaming.session import (
     SessionConfig,
@@ -156,16 +157,16 @@ class WorkloadResult:
                 {
                     "switch": index + 1,
                     "phase": fasts[0].phase,
-                    "normal_switch_time": _mean([o.avg_switch_time for o in normals]),
-                    "fast_switch_time": _mean([o.avg_switch_time for o in fasts]),
+                    "normal_switch_time": mean_of([o.avg_switch_time for o in normals]),
+                    "fast_switch_time": mean_of([o.avg_switch_time for o in fasts]),
                     "reduction": reduction_ratio(
-                        _mean([o.avg_switch_time for o in normals]),
-                        _mean([o.avg_switch_time for o in fasts]),
+                        mean_of([o.avg_switch_time for o in normals]),
+                        mean_of([o.avg_switch_time for o in fasts]),
                     ),
-                    "fast_startup_delay": _mean([o.startup_delay for o in fasts]),
-                    "fast_continuity": _mean([o.continuity for o in fasts]),
-                    "fast_stalls": _mean([float(o.stall_periods) for o in fasts]),
-                    "unfinished": _mean([float(o.unfinished) for o in fasts]),
+                    "fast_startup_delay": mean_of([o.startup_delay for o in fasts]),
+                    "fast_continuity": mean_of([o.continuity for o in fasts]),
+                    "fast_stalls": mean_of([float(o.stall_periods) for o in fasts]),
+                    "unfinished": mean_of([float(o.unfinished) for o in fasts]),
                 }
             )
         return rows
@@ -192,15 +193,15 @@ class WorkloadResult:
                     {
                         "switch": index + 1,
                         "class": label,
-                        "peers": _mean([float(s.peers) for s in fast_stats]),
-                        "normal_p50": _mean([s.p50 for s in normal_stats]),
-                        "fast_p50": _mean([s.p50 for s in fast_stats]),
-                        "normal_p90": _mean([s.p90 for s in normal_stats]),
-                        "fast_p90": _mean([s.p90 for s in fast_stats]),
-                        "fast_p99": _mean([s.p99 for s in fast_stats]),
+                        "peers": mean_of([float(s.peers) for s in fast_stats]),
+                        "normal_p50": mean_of([s.p50 for s in normal_stats]),
+                        "fast_p50": mean_of([s.p50 for s in fast_stats]),
+                        "normal_p90": mean_of([s.p90 for s in normal_stats]),
+                        "fast_p90": mean_of([s.p90 for s in fast_stats]),
+                        "fast_p99": mean_of([s.p99 for s in fast_stats]),
                         "reduction": reduction_ratio(
-                            _mean([s.mean for s in normal_stats]),
-                            _mean([s.mean for s in fast_stats]),
+                            mean_of([s.mean for s in normal_stats]),
+                            mean_of([s.mean for s in fast_stats]),
                         ),
                     }
                 )
@@ -219,17 +220,13 @@ class WorkloadResult:
                         "switch": index + 1,
                         "phase": name,
                         "window": f"{fast_q[0].start:.0f}-{fast_q[0].end:.0f}s",
-                        "normal_continuity": _mean([q.continuity_index for q in normal_q]),
-                        "fast_continuity": _mean([q.continuity_index for q in fast_q]),
-                        "fast_stalls": _mean([float(q.stall_periods) for q in fast_q]),
-                        "fast_switched": _mean([q.fraction_switched for q in fast_q]),
+                        "normal_continuity": mean_of([q.continuity_index for q in normal_q]),
+                        "fast_continuity": mean_of([q.continuity_index for q in fast_q]),
+                        "fast_stalls": mean_of([float(q.stall_periods) for q in fast_q]),
+                        "fast_switched": mean_of([q.fraction_switched for q in fast_q]),
                     }
                 )
         return rows
-
-
-def _mean(values: Sequence[float]) -> float:
-    return float(sum(values) / len(values)) if values else 0.0
 
 
 def _class_stats(outcome: SwitchOutcome, label: str) -> Optional[ClassSwitchStats]:
@@ -454,42 +451,37 @@ class WorkloadRunner:
         rep_seeds = [seed + rep for rep in range(repetitions)]
         keys = [workload_fingerprint(spec, rep_seed) for rep_seed in rep_seeds]
 
-        results: Dict[int, WorkloadRepResult] = {}
-        pending: List[int] = []
-        if self.store is not None:
-            for index, key in enumerate(keys):
-                document = self.store.load_workload(key)
-                if document is not None:
-                    results[index] = rep_from_dict(document["rep"])
-                else:
-                    pending.append(index)
-            if pending and self.store.replay_only:
-                raise self.store.missing(keys[pending[0]])
-        else:
-            pending = list(range(repetitions))
+        def _load(key: str) -> Optional[WorkloadRepResult]:
+            document = self.store.load_workload(key)
+            return None if document is None else rep_from_dict(document["rep"])
 
-        # Lazily in index order so each repetition persists as soon as it
-        # completes (interrupted runs keep their finished repetitions).
-        for index, rep in zip(pending, self._execute(spec, [rep_seeds[i] for i in pending])):
-            results[index] = rep
-            if self.store is not None:
-                self.store.save_workload(
-                    keys[index],
-                    {
-                        "workload": spec.name,
-                        "seed": rep_seeds[index],
-                        "n_nodes": spec.n_nodes,
-                        "spec": spec.to_dict(),
-                        "rep": rep_to_dict(rep),
-                    },
-                )
+        def _save(key: str, index: int, rep: WorkloadRepResult) -> None:
+            self.store.save_workload(
+                key,
+                {
+                    "workload": spec.name,
+                    "seed": rep_seeds[index],
+                    "n_nodes": spec.n_nodes,
+                    "spec": spec.to_dict(),
+                    "rep": rep_to_dict(rep),
+                },
+            )
 
+        reps, replayed = replay_or_execute(
+            self.store,
+            keys,
+            load=_load,
+            execute=lambda pending: self._execute(
+                spec, [rep_seeds[i] for i in pending]
+            ),
+            save=_save,
+        )
         return WorkloadResult(
             spec=spec,
             seed=int(seed),
             repetitions=int(repetitions),
-            reps=tuple(results[index] for index in range(repetitions)),
-            replayed=repetitions - len(pending),
+            reps=tuple(reps),
+            replayed=replayed,
         )
 
     # ------------------------------------------------------------------ #

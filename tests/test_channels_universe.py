@@ -1,0 +1,192 @@
+"""Tests for the multi-channel universe: spec, planning, execution, runner."""
+
+import numpy as np
+import pytest
+
+from repro.channels.runner import (
+    UniverseRunner,
+    rep_from_dict,
+    rep_to_dict,
+    run_universe,
+    universe_fingerprint,
+)
+from repro.channels.universe import (
+    UniverseSession,
+    UniverseSpec,
+    plan_universe,
+    run_universe_channel,
+    run_universe_rep,
+)
+from repro.experiments.store import MissingResultError, ResultStore
+from repro.sim.rng import RandomStreams
+
+#: A deliberately tiny universe so the suite stays fast.
+TINY = UniverseSpec(
+    name="tiny-test",
+    description="unit-test universe",
+    n_channels=4,
+    n_viewers=48,
+    zipf_exponent=1.0,
+    min_audience=8,
+    surfer_fraction=0.4,
+    surfer_zap_rate=0.15,
+    loyal_zap_rate=0.01,
+    duration=16.0,
+)
+
+
+class TestUniverseSpec:
+    def test_dict_round_trip(self):
+        spec = TINY
+        assert UniverseSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_with_overrides(self):
+        spec = UniverseSpec(
+            name="o", n_channels=3, n_viewers=30, duration=10.0,
+            session_overrides=(("min_degree", 4), ("play_rate", 8.0)),
+        )
+        assert spec.min_degree == 4
+        assert UniverseSpec.from_dict(spec.to_dict()) == spec
+
+    def test_reserved_overrides_rejected(self):
+        for key in ("seed", "n_nodes", "max_time", "churn", "warmup", "tau"):
+            with pytest.raises(ValueError):
+                UniverseSpec(name="bad", session_overrides=((key, 1),))
+
+    def test_non_primitive_override_rejected(self):
+        with pytest.raises(ValueError):
+            UniverseSpec(name="bad", session_overrides=(("lag_per_hop", [1, 2]),))
+
+    def test_population_must_cover_the_lineup(self):
+        with pytest.raises(ValueError):
+            UniverseSpec(name="bad", n_channels=10, n_viewers=40)
+
+    def test_min_audience_must_support_the_mesh(self):
+        with pytest.raises(ValueError):
+            UniverseSpec(name="bad", min_audience=3)
+
+    def test_fractions_validated(self):
+        for attr in ("surfer_fraction", "surfer_zap_rate", "loyal_zap_rate"):
+            with pytest.raises(ValueError):
+                UniverseSpec(name="bad", **{attr: 1.2})
+
+    def test_horizon_rounds_to_whole_periods(self):
+        spec = UniverseSpec(name="h", n_channels=2, n_viewers=20, duration=10.4)
+        assert spec.n_periods == 10
+        assert spec.horizon == 10.0
+
+    def test_scaled_to(self):
+        spec = TINY.scaled_to(n_channels=3, n_viewers=60)
+        assert spec.n_channels == 3 and spec.n_viewers == 60
+        assert spec.name == TINY.name
+
+
+class TestPlanning:
+    def test_plan_is_deterministic(self):
+        a = plan_universe(TINY, 3)
+        b = plan_universe(TINY, 3)
+        assert a.lineup == b.lineup
+        assert a.channel_seeds == b.channel_seeds
+        assert a.zap_plan == b.zap_plan
+
+    def test_channel_seeds_are_distinct(self):
+        plan = plan_universe(TINY, 0)
+        assert len(set(plan.channel_seeds)) == TINY.n_channels
+
+    def test_different_seeds_make_different_plans(self):
+        assert plan_universe(TINY, 0).zap_plan != plan_universe(TINY, 1).zap_plan
+
+    def test_channel_event_streams_are_uncorrelated(self):
+        # satellite guarantee: per-channel RNG families spawned via numpy
+        # seed sequences give uncorrelated draws between channels.
+        plan = plan_universe(TINY, 0)
+        draws = [
+            RandomStreams(seed).get("round-order").random(4000)
+            for seed in plan.channel_seeds[:2]
+        ]
+        corr = float(np.corrcoef(draws[0], draws[1])[0, 1])
+        assert abs(corr) < 0.05
+        assert not np.array_equal(draws[0], draws[1])
+
+
+class TestExecution:
+    def test_serial_rep_matches_isolated_channels(self):
+        rep = run_universe_rep(TINY, 2)
+        for channel in range(TINY.n_channels):
+            normal, fast = run_universe_channel(TINY, 2, channel)
+            assert normal == rep.normal[channel]
+            assert fast == rep.fast[channel]
+
+    def test_shared_engine_runs_every_mesh(self):
+        session = UniverseSession(TINY, 0)
+        assert len(session.sessions) == 2 * TINY.n_channels
+        rep = session.run()
+        assert len(session.directory.services) == 2 * TINY.n_channels
+        assert rep.n_channels == TINY.n_channels
+        assert rep.n_viewers == TINY.n_viewers
+        assert all(o.algorithm == "normal" for o in rep.normal)
+        assert all(o.algorithm == "fast" for o in rep.fast)
+        assert sum(o.audience for o in rep.fast) == TINY.n_viewers
+
+    def test_outcomes_are_paired_and_measured(self):
+        rep = run_universe_rep(TINY, 0)
+        for normal, fast in zip(rep.normal, rep.fast):
+            assert normal.channel == fast.channel
+            assert normal.n_peers > 0
+            assert fast.mean_zap_time > 0
+            assert 0.0 <= fast.continuity <= 1.0
+
+    def test_rep_dict_round_trip(self):
+        rep = run_universe_rep(TINY, 1)
+        assert rep_from_dict(rep_to_dict(rep)) == rep
+
+
+class TestRunnerDeterminism:
+    def test_workers_bit_identical_to_serial(self):
+        serial = run_universe(TINY, seed=0, repetitions=2)
+        parallel = run_universe(TINY, seed=0, repetitions=2, workers=2)
+        assert serial.reps == parallel.reps
+        assert serial.decile_rows() == parallel.decile_rows()
+
+    def test_fast_beats_normal_on_every_decile(self):
+        result = run_universe(TINY, seed=0, repetitions=2)
+        rows = result.decile_rows()
+        assert rows, "expected populated deciles"
+        for row in rows:
+            assert row["fast_zap_time"] < row["normal_zap_time"], row
+        assert result.mean_reduction > 0
+
+    def test_channel_rows_cover_the_lineup(self):
+        result = run_universe(TINY, seed=0)
+        rows = result.channel_rows()
+        assert len(rows) == TINY.n_channels
+        assert [row["decile"] for row in rows] == sorted(row["decile"] for row in rows)
+
+
+class TestRunnerStore:
+    def test_store_replays_bit_identically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_universe(TINY, seed=0, repetitions=2, store=store)
+        assert first.simulated == 2 and first.replayed == 0
+        second = run_universe(TINY, seed=0, repetitions=2, store=store)
+        assert second.simulated == 0 and second.replayed == 2
+        assert first.reps == second.reps
+
+    def test_replay_only_store_refuses_to_simulate(self, tmp_path):
+        store = ResultStore(tmp_path, replay_only=True)
+        with pytest.raises(MissingResultError):
+            run_universe(TINY, seed=0, store=store)
+
+    def test_fingerprint_rotates_with_spec_and_seed(self):
+        base = universe_fingerprint(TINY, 0)
+        assert base.startswith("universe-")
+        assert universe_fingerprint(TINY, 1) != base
+        changed = UniverseSpec.from_dict({**TINY.to_dict(), "surfer_zap_rate": 0.2})
+        assert universe_fingerprint(changed, 0) != base
+        assert universe_fingerprint(TINY, 0, version="other") != base
+
+    def test_runner_validates_arguments(self):
+        with pytest.raises(ValueError):
+            UniverseRunner(workers=0)
+        with pytest.raises(ValueError):
+            UniverseRunner().run(TINY, repetitions=0)

@@ -1,0 +1,113 @@
+"""Tests for the zapping process and its compiled plans."""
+
+import numpy as np
+import pytest
+
+from repro.channels.directory import Directory
+from repro.channels.lineup import ChannelLineup
+from repro.channels.zapping import ZappingProcess
+from repro.sim.rng import sequence_seeds
+
+
+def _make(n_channels=5, n_viewers=100, surfer_fraction=0.4,
+          surfer_zap_rate=0.2, loyal_zap_rate=0.02, seed=7):
+    lineup = ChannelLineup.build(n_channels, n_viewers, min_audience=8)
+    directory = Directory(
+        lineup, min_degree=5, channel_seeds=sequence_seeds(seed, n_channels)
+    )
+    process = ZappingProcess(
+        lineup,
+        directory,
+        surfer_fraction=surfer_fraction,
+        surfer_zap_rate=surfer_zap_rate,
+        loyal_zap_rate=loyal_zap_rate,
+        rng=np.random.default_rng(seed),
+    )
+    return lineup, directory, process
+
+
+def test_plan_is_deterministic():
+    _, _, p1 = _make()
+    _, _, p2 = _make()
+    assert p1.generate(20) == p2.generate(20)
+
+
+def test_arrivals_balance_departures():
+    _, _, process = _make()
+    plan = process.generate(25)
+    total_arrivals = sum(c for ch in plan.arrivals for _, c in ch)
+    total_departures = sum(c for ch in plan.departures for _, c in ch)
+    assert total_arrivals == total_departures == plan.n_zaps
+    assert plan.n_zaps > 0
+
+
+def test_events_match_per_channel_counts():
+    _, _, process = _make()
+    plan = process.generate(15)
+    for channel in range(5):
+        from_events = sum(1 for e in plan.events if e.from_channel == channel)
+        to_events = sum(1 for e in plan.events if e.to_channel == channel)
+        assert from_events == sum(c for _, c in plan.departures[channel])
+        assert to_events == sum(c for _, c in plan.arrivals[channel])
+    assert all(e.from_channel != e.to_channel for e in plan.events)
+    assert all(1 <= e.period <= 15 for e in plan.events)
+
+
+def test_final_audiences_follow_the_events():
+    lineup, directory, process = _make()
+    plan = process.generate(20)
+    assert sum(plan.final_audiences) == lineup.total_audience
+    assert directory.audiences() == plan.final_audiences
+    assert directory.zaps == plan.n_zaps
+
+
+def test_zero_rates_produce_no_zaps():
+    _, _, process = _make(surfer_zap_rate=0.0, loyal_zap_rate=0.0)
+    plan = process.generate(30)
+    assert plan.n_zaps == 0
+    assert plan.events == ()
+
+
+def test_single_channel_universe_never_zaps():
+    _, _, process = _make(n_channels=1, n_viewers=20, surfer_zap_rate=1.0,
+                          loyal_zap_rate=1.0)
+    plan = process.generate(10)
+    assert plan.n_zaps == 0
+
+
+def test_surfers_drive_most_traffic():
+    _, _, process = _make(n_viewers=200, surfer_fraction=0.5,
+                          surfer_zap_rate=0.3, loyal_zap_rate=0.0)
+    plan = process.generate(20)
+    assert 0 < plan.surfers < 200
+    # with a zero loyal rate every zap comes from a surfer
+    assert plan.n_zaps > 0
+
+
+def test_channel_directives_carry_exact_counts():
+    _, _, process = _make()
+    plan = process.generate(12)
+    for channel in range(5):
+        directives = plan.channel_directives(channel)
+        joins = dict(plan.arrivals[channel])
+        leaves = dict(plan.departures[channel])
+        assert set(directives) == set(joins) | set(leaves)
+        for period, directive in directives.items():
+            assert directive.join_count == joins.get(period)
+            assert directive.leave_count == leaves.get(period)
+            assert directive.phase == "zapping"
+            assert not directive.is_neutral
+
+
+def test_invalid_rates_rejected():
+    lineup = ChannelLineup.build(3, 30, min_audience=8)
+    directory = Directory(lineup, min_degree=5, channel_seeds=sequence_seeds(0, 3))
+    with pytest.raises(ValueError):
+        ZappingProcess(lineup, directory, surfer_fraction=1.5,
+                       surfer_zap_rate=0.1, loyal_zap_rate=0.0,
+                       rng=np.random.default_rng(0))
+    process = ZappingProcess(lineup, directory, surfer_fraction=0.5,
+                             surfer_zap_rate=0.1, loyal_zap_rate=0.0,
+                             rng=np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        process.generate(-1)

@@ -114,3 +114,35 @@ def test_plan_dataclass_defaults():
     assert ChurnPlan().empty
     assert not ChurnPlan(leavers=(1,), joins=0).empty
     assert not ChurnPlan(leavers=(), joins=2).empty
+
+
+class TestCountOverrides:
+    def test_exact_counts_win_over_fractions(self):
+        model = ChurnModel(ChurnConfig(leave_fraction=0.5, join_fraction=0.5),
+                           np.random.default_rng(0))
+        plan = model.plan_round(list(range(20)), leave_count=3, join_count=2)
+        assert len(plan.leavers) == 3
+        assert plan.joins == 2
+
+    def test_counts_activate_a_disabled_model(self):
+        model = ChurnModel(ChurnConfig.disabled(), np.random.default_rng(0))
+        plan = model.plan_round(list(range(10)), leave_count=2, join_count=1)
+        assert len(plan.leavers) == 2 and plan.joins == 1
+
+    def test_leave_count_clamped_to_population(self):
+        model = ChurnModel(ChurnConfig.disabled(), np.random.default_rng(0))
+        plan = model.plan_round(list(range(4)), leave_count=9)
+        assert len(plan.leavers) == 4
+
+    def test_negative_counts_treated_as_zero(self):
+        model = ChurnModel(ChurnConfig.disabled(), np.random.default_rng(0))
+        plan = model.plan_round(list(range(4)), leave_count=-1, join_count=-5)
+        assert plan.empty
+
+    def test_count_and_fraction_mix(self):
+        # a count on one side leaves the other side's fraction in force
+        model = ChurnModel(ChurnConfig(leave_fraction=0.5, join_fraction=0.25),
+                           np.random.default_rng(1))
+        plan = model.plan_round(list(range(8)), leave_count=1)
+        assert len(plan.leavers) == 1
+        assert plan.joins == 2

@@ -205,3 +205,79 @@ def test_scenario_from_store_requires_populated_store(tmp_path, capsys):
             "--results-dir", str(tmp_path / "empty")]
     assert main(argv) == 1
     assert "not in the store" in capsys.readouterr().err
+
+
+def test_parser_knows_universe_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["universe", "ls"])
+    assert args.universe_command == "ls"
+    args = parser.parse_args(["universe", "run", "lineup-zipf", "--workers", "4",
+                              "--channels", "8", "--viewers", "200",
+                              "--repetitions", "2", "--results-dir", "/tmp/r",
+                              "--from-store", "--json"])
+    assert args.universe_command == "run" and args.name == "lineup-zipf"
+    assert args.workers == 4 and args.channels == 8 and args.viewers == 200
+    assert args.from_store and args.json
+    args = parser.parse_args(["universe", "compare", "lineup-mini"])
+    assert args.universe_command == "compare" and args.name == "lineup-mini"
+
+
+def test_universe_ls_lists_the_library(capsys):
+    assert main(["universe", "ls", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    names = {row["name"] for row in rows}
+    assert {"lineup-zipf", "prime-time", "lineup-mini"} <= names
+    zipf = next(row for row in rows if row["name"] == "lineup-zipf")
+    assert zipf["channels"] == 20 and zipf["viewers"] == 1000
+
+
+def test_universe_run_persists_and_replays(tmp_path, capsys, monkeypatch):
+    store_dir = tmp_path / "results"
+    argv = ["universe", "run", "lineup-mini", "--channels", "3", "--viewers", "30",
+            "--seed", "4", "--results-dir", str(store_dir), "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["universe"] == "lineup-mini"
+    assert first["n_channels"] == 3 and first["n_viewers"] == 30
+    assert first["simulated"] == 1 and first["replayed"] == 0
+    assert len(first["channel_rows"]) == 3
+    assert first["decile_rows"]
+
+    # The repeated invocation replays from the store without simulating.
+    import repro.channels.runner as runner_module
+
+    def _boom(spec, seed):
+        raise AssertionError("simulated despite a warm store")
+
+    monkeypatch.setattr(runner_module, "run_universe_rep", _boom)
+    assert main(argv + ["--from-store"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["replayed"] == 1 and second["simulated"] == 0
+    assert second["channel_rows"] == first["channel_rows"]
+    assert second["decile_rows"] == first["decile_rows"]
+
+
+def test_universe_compare_json_is_decile_focused(tmp_path, capsys):
+    argv = ["universe", "compare", "lineup-mini", "--channels", "3",
+            "--viewers", "30", "--results-dir", str(tmp_path / "r"), "--json"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "decile_rows" in payload and "mean_reduction" in payload
+    assert "channel_rows" not in payload
+
+
+def test_universe_from_store_requires_populated_store(tmp_path, capsys):
+    argv = ["universe", "run", "lineup-mini", "--from-store",
+            "--results-dir", str(tmp_path / "empty")]
+    assert main(argv) == 1
+    assert "not in the store" in capsys.readouterr().err
+
+
+def test_workload_compare_json_is_switch_focused(tmp_path, capsys):
+    argv = ["workload", "compare", "paper-baseline", "--n-nodes", "40",
+            "--results-dir", str(tmp_path / "r"), "--json"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"] == "paper-baseline"
+    assert "mean_reduction" in payload and "switch_rows" in payload
+    assert "class_rows" not in payload and "phase_rows" not in payload

@@ -93,3 +93,45 @@ def test_join_on_tiny_overlay_connects_to_everyone():
     service = MembershipService(overlay, 5, np.random.default_rng(0))
     node_id = service.join()
     assert overlay.degree(node_id) == 1  # only one possible partner
+
+
+class TestSubCriticalPopulations:
+    """Regression: repair degrades gracefully below ``min_degree + 1`` alive."""
+
+    def test_effective_min_degree_tracks_the_population(self):
+        overlay = _overlay(n=4)
+        service = _service(overlay, min_degree=5)
+        assert service.effective_min_degree == 3
+        service.leave(3)
+        assert service.effective_min_degree == 2
+
+    def test_repair_builds_partial_neighbour_sets(self):
+        overlay = _overlay(n=4)  # 4-cycle
+        service = _service(overlay, min_degree=5)
+        added = service.repair()
+        # the best a 4-node overlay can do: the complete graph
+        assert added == 2
+        assert all(overlay.degree(n) == 3 for n in overlay.node_ids)
+
+    def test_saturated_overlay_repair_is_a_noop(self):
+        overlay = _overlay(n=3, degree_edges=[(0, 1), (1, 2), (0, 2)])
+        service = _service(overlay, min_degree=5)
+        repairs_before = service.repairs
+        for _ in range(5):  # repeated rounds must not retry or raise
+            assert service.repair() == 0
+        assert service.repairs == repairs_before
+
+    def test_repair_never_raises_while_shrinking_to_nothing(self):
+        overlay = _overlay(n=6, degree_edges=[(i, (i + 1) % 6) for i in range(6)])
+        service = _service(overlay, min_degree=5)
+        for node in range(6):
+            former = service.leave(node)
+            service.repair([n for n in former if n in overlay])
+        assert len(overlay) == 0
+        assert service.repair() == 0
+
+    def test_join_into_subcritical_overlay_connects_to_everyone(self):
+        overlay = _overlay(n=3)
+        service = _service(overlay, min_degree=5)
+        node_id = service.join()
+        assert sorted(overlay.neighbours(node_id)) == [0, 1, 2]

@@ -26,6 +26,7 @@ def test_optimal_split_reachable_from_top_level():
 
 
 def test_subpackages_import_cleanly():
+    import repro.channels  # noqa: F401
     import repro.churn  # noqa: F401
     import repro.core  # noqa: F401
     import repro.experiments  # noqa: F401
@@ -33,3 +34,4 @@ def test_subpackages_import_cleanly():
     import repro.overlay  # noqa: F401
     import repro.sim  # noqa: F401
     import repro.streaming  # noqa: F401
+    import repro.workloads  # noqa: F401

@@ -1,8 +1,9 @@
 """Tests for deterministic named random streams."""
 
 import numpy as np
+import pytest
 
-from repro.sim.rng import RandomStreams, derive_seed
+from repro.sim.rng import RandomStreams, derive_seed, sequence_seeds
 
 
 def test_derive_seed_is_deterministic_and_name_sensitive():
@@ -50,3 +51,34 @@ def test_contains_reports_created_streams():
     assert "x" not in streams
     streams.get("x")
     assert "x" in streams
+
+
+def test_sequence_seeds_deterministic_and_distinct():
+    seeds = sequence_seeds(42, 50)
+    assert seeds == sequence_seeds(42, 50)
+    assert len(set(seeds)) == 50
+    assert all(isinstance(s, int) and s >= 0 for s in seeds)
+
+
+def test_sequence_seeds_differ_by_root():
+    assert sequence_seeds(0, 10) != sequence_seeds(1, 10)
+
+
+def test_sequence_seeds_prefix_stable():
+    # spawning more children never perturbs the earlier ones
+    assert sequence_seeds(7, 20)[:5] == sequence_seeds(7, 5)
+
+
+def test_sequence_seeds_handles_negative_roots_and_zero_count():
+    assert sequence_seeds(-3, 4) == sequence_seeds(-3, 4)
+    assert sequence_seeds(5, 0) == []
+    with pytest.raises(ValueError):
+        sequence_seeds(5, -1)
+
+
+def test_sequence_seeded_streams_are_uncorrelated():
+    a, b = sequence_seeds(123, 2)
+    draws_a = RandomStreams(a).get("events").random(4000)
+    draws_b = RandomStreams(b).get("events").random(4000)
+    assert not np.array_equal(draws_a, draws_b)
+    assert abs(float(np.corrcoef(draws_a, draws_b)[0, 1])) < 0.05
