@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Run the pinned perf-trajectory benchmark subset and summarise it.
+
+This script seeds the repository's performance trajectory: it runs a
+*pinned* subset of the pytest-benchmark suite --
+
+* ``bench_simulator_throughput.py`` -- end-to-end simulator throughput,
+* ``bench_core_scheduler.py``       -- the switch-scheduling hot path,
+* ``bench_fig07_switch_time_static.py`` -- one full figure regeneration,
+
+-- and writes a compact ``BENCH_<git-sha>.json`` summary at the repository
+root, so successive commits leave a comparable perf record behind (CI
+uploads the file as a workflow artifact).  The summary format is
+documented in ``docs/architecture.md`` (section "Performance trajectory").
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [--json] [--output-dir DIR]
+
+``--json`` additionally prints the summary to stdout.  The script needs
+``pytest-benchmark`` (part of the ``[test]`` extra); without it, it exits
+with a clear message instead of a stack trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+#: The pinned benchmark subset, relative to the ``benchmarks/`` directory.
+PINNED_BENCHMARKS = (
+    "bench_simulator_throughput.py",
+    "bench_core_scheduler.py",
+    "bench_fig07_switch_time_static.py",
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def git_sha(repo_root: Path) -> str:
+    """The current commit's short sha (``unknown`` outside a git checkout)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def summarise(payload: Mapping[str, Any], sha: str) -> Dict[str, Any]:
+    """Reduce a pytest-benchmark JSON payload to the trajectory summary.
+
+    The summary keeps one row per benchmark -- name, mean/stddev/min
+    seconds and the round count -- plus the commit sha, the machine info
+    pytest-benchmark recorded and a UTC timestamp.  All fields are plain
+    JSON scalars so summaries diff cleanly across commits.
+    """
+    rows: List[Dict[str, Any]] = []
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        rows.append(
+            {
+                "name": bench.get("fullname", bench.get("name", "?")),
+                "mean_s": float(stats.get("mean", 0.0)),
+                "stddev_s": float(stats.get("stddev", 0.0)),
+                "min_s": float(stats.get("min", 0.0)),
+                "rounds": int(stats.get("rounds", 0)),
+            }
+        )
+    rows.sort(key=lambda row: row["name"])
+    machine = payload.get("machine_info", {})
+    return {
+        "schema": 1,
+        "git_sha": sha,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "python": machine.get("python_version", ""),
+        "machine": machine.get("machine", ""),
+        "benchmarks": rows,
+    }
+
+
+def run_pinned_suite(repo_root: Path) -> Optional[Dict[str, Any]]:
+    """Execute the pinned subset; returns the raw pytest-benchmark payload."""
+    targets = [str(repo_root / "benchmarks" / name) for name in PINNED_BENCHMARKS]
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *targets,
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={raw_path}",
+        ]
+        proc = subprocess.run(command, cwd=repo_root)
+        if proc.returncode != 0 or not raw_path.exists():
+            return None
+        with raw_path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the pinned benchmark subset and write BENCH_<sha>.json"
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="also print the summary to stdout")
+    parser.add_argument("--output-dir", default=str(REPO_ROOT),
+                        help="directory for the BENCH_<sha>.json summary "
+                             "(default: the repository root)")
+    args = parser.parse_args(argv)
+
+    try:
+        import pytest_benchmark  # noqa: F401
+    except ImportError:
+        print(
+            "error: pytest-benchmark is not installed; "
+            "run `pip install -e .[test]` first",
+            file=sys.stderr,
+        )
+        return 1
+
+    payload = run_pinned_suite(REPO_ROOT)
+    if payload is None:
+        print("error: the pinned benchmark suite failed", file=sys.stderr)
+        return 1
+
+    sha = git_sha(REPO_ROOT)
+    summary = summarise(payload, sha)
+    output = Path(args.output_dir) / f"BENCH_{sha}.json"
+    with output.open("w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output} ({len(summary['benchmarks'])} benchmarks)", file=sys.stderr)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

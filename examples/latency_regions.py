@@ -1,0 +1,67 @@
+"""Geography as an experiment axis: the paired switch across topologies.
+
+Runs the paper's paired fast-vs-normal comparison over the ideal
+(zero-latency) network and over two library topologies, prints the mean
+switch time of each algorithm per topology, and breaks the
+``transcontinental`` run down by region.
+
+What to expect:
+
+* latency and loss lengthen switch times for both algorithms -- lost
+  segment responses waste supplier budget and stall playback, which hits
+  the normal switch's long old-stream drain hardest;
+* at this configuration the transcontinental fabric *widens* the
+  fast-switch advantage, in absolute seconds and in reduction ratio
+  (pinned by ``tests/test_net_session.py``);
+* the fast algorithm wins in every region, including the ones a hundred
+  milliseconds from the new source.
+
+Run with::
+
+    python examples/latency_regions.py
+"""
+
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import run_pair
+from repro.metrics.net import region_comparison_rows
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    rows = []
+    pairs = {}
+    for topology in ("", "metro", "transcontinental"):
+        config = make_session_config(
+            150, seed=1, max_time=90.0, topology=topology
+        )
+        pair = run_pair(config)
+        pairs[topology] = pair
+        rows.append(
+            {
+                "topology": topology or "ideal",
+                "normal_switch_time": pair.normal.metrics.avg_switch_time,
+                "fast_switch_time": pair.fast.metrics.avg_switch_time,
+                "reduction": pair.switch_time_reduction,
+                "net_drop_ratio": pair.fast.fabric_stats.get("drop_ratio", 0.0),
+                "net_mean_delay_s": pair.fast.fabric_stats.get("mean_delay_s", 0.0),
+            }
+        )
+
+    print("paired switch time by topology (150 peers, seed 1):")
+    print(format_table(rows))
+
+    pair = pairs["transcontinental"]
+    print("\nper-region breakdown over 'transcontinental':")
+    print(
+        format_table(
+            region_comparison_rows(
+                pair.normal.metrics.outcomes,
+                pair.fast.metrics.outcomes,
+                horizon=pair.normal.metrics.horizon,
+            )
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

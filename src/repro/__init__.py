@@ -35,6 +35,11 @@ Layout
     The multi-channel universe: Zipf channel lineups, the tracker-style
     channel directory, surfing/loyal zapping processes and whole-lineup
     switch measurement on one shared simulation engine.
+:mod:`repro.net`
+    The latency-aware network layer: named regions with an inter-region
+    latency matrix, deterministic lossy links, and the network fabrics
+    that turn instantaneous exchanges into delayed (and droppable)
+    deliveries -- plus locality-aware overlay partner selection.
 
 Quickstart
 ----------
@@ -55,10 +60,18 @@ from repro.core import (
 from repro.experiments.config import make_session_config
 from repro.experiments.figures import generate_figure
 from repro.experiments.runner import run_pair, run_single
+from repro.net import (
+    IdealFabric,
+    LatencyFabric,
+    NetTopology,
+    Region,
+    get_topology,
+    topology_names,
+)
 from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
 from repro.workloads import Phase, WorkloadSpec, get_universe, get_workload, run_workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -81,4 +94,10 @@ __all__ = [
     "UniverseSession",
     "get_universe",
     "run_universe",
+    "Region",
+    "NetTopology",
+    "IdealFabric",
+    "LatencyFabric",
+    "get_topology",
+    "topology_names",
 ]

@@ -41,6 +41,7 @@ from repro.experiments.store import (
     SCHEMA_VERSION,
     ResultStore,
     code_version,
+    persist_net_document,
     replay_or_execute,
     stable_hash,
 )
@@ -269,18 +270,24 @@ class UniverseRunner:
             document = self.store.load_universe(key)
             return None if document is None else rep_from_dict(document["rep"])
 
+        # The topology is fixed per spec: persist its net-* document (and
+        # hash it) at most once per run, on the first fresh repetition.
+        net_key_memo: List[Optional[str]] = []
+
         def _save(key: str, index: int, rep: UniverseRepResult) -> None:
-            self.store.save_universe(
-                key,
-                {
-                    "universe": spec.name,
-                    "seed": rep_seeds[index],
-                    "n_channels": spec.n_channels,
-                    "n_viewers": spec.n_viewers,
-                    "spec": spec.to_dict(),
-                    "rep": rep_to_dict(rep),
-                },
-            )
+            if not net_key_memo:
+                net_key_memo.append(persist_net_document(self.store, spec.topology))
+            document = {
+                "universe": spec.name,
+                "seed": rep_seeds[index],
+                "n_channels": spec.n_channels,
+                "n_viewers": spec.n_viewers,
+                "spec": spec.to_dict(),
+                "rep": rep_to_dict(rep),
+            }
+            if net_key_memo[0] is not None:
+                document["net_key"] = net_key_memo[0]
+            self.store.save_universe(key, document)
 
         reps, replayed = replay_or_execute(
             self.store,

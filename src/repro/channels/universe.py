@@ -44,6 +44,7 @@ from repro.churn.model import ChurnConfig
 from repro.experiments.config import make_session_config
 from repro.metrics.qoe import phase_qoe
 from repro.metrics.universe import zap_time_stats
+from repro.net.library import topology_names
 from repro.sim.clock import round_half_up
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import sequence_seeds
@@ -84,6 +85,7 @@ _RESERVED_OVERRIDES = frozenset(
         "churn",
         "warmup",
         "peer_classes",
+        "topology",
     }
 )
 
@@ -115,6 +117,12 @@ class UniverseSpec:
         Simulated horizon in seconds (rounded to whole periods).
     tau:
         Scheduling period of every mesh, in seconds.
+    topology:
+        Name of a library network topology (:mod:`repro.net.library`)
+        every channel mesh runs over; empty keeps the paper's ideal
+        zero-latency network.  Each mesh gets its own latency fabric
+        seeded from its channel seed, so universes stay bit-identical
+        between the serial shared-engine path and worker fan-out.
     session_overrides:
         Extra :class:`~repro.streaming.session.SessionConfig` fields
         applied to every channel mesh, as a sorted tuple of pairs (JSON
@@ -132,11 +140,16 @@ class UniverseSpec:
     loyal_zap_rate: float = 0.01
     duration: float = 50.0
     tau: float = 1.0
+    topology: str = ""
     session_overrides: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("universe needs a non-empty name")
+        if self.topology and self.topology not in topology_names():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; known: {topology_names()}"
+            )
         if self.n_channels < 1:
             raise ValueError(f"n_channels must be >= 1, got {self.n_channels}")
         if self.duration <= 0 or self.tau <= 0:
@@ -201,6 +214,10 @@ class UniverseSpec:
             n_viewers=int(n_viewers) if n_viewers is not None else self.n_viewers,
         )
 
+    def with_topology(self, topology: str) -> "UniverseSpec":
+        """A copy of this spec running over a different network topology."""
+        return replace(self, topology=str(topology))
+
     # ------------------------------------------------------------------ #
     # dict round trip (store fingerprinting)
     # ------------------------------------------------------------------ #
@@ -218,6 +235,7 @@ class UniverseSpec:
             "loyal_zap_rate": self.loyal_zap_rate,
             "duration": self.duration,
             "tau": self.tau,
+            "topology": self.topology,
             "session_overrides": {k: v for k, v in self.session_overrides},
         }
 
@@ -236,6 +254,7 @@ class UniverseSpec:
             loyal_zap_rate=float(payload["loyal_zap_rate"]),
             duration=float(payload["duration"]),
             tau=float(payload["tau"]),
+            topology=str(payload.get("topology", "")),
             session_overrides=tuple(
                 sorted(dict(payload.get("session_overrides", {})).items())
             ),
@@ -315,6 +334,7 @@ def channel_mesh_config(
         record_rounds=True,
         run_full_horizon=True,
         churn=ChurnConfig.disabled(),
+        topology=spec.topology,
     )
     return make_session_config(
         channel.audience + 2,

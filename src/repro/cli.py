@@ -46,6 +46,14 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
     specs, executed through the same engine (store-backed; ``--compare``
     prints the switch-time reduction).
 
+``net ls`` / ``net show NAME``
+    The latency-aware network layer: list the library topologies or print
+    one topology's regions and latency matrix.  ``run``, ``compare``,
+    ``workload run|compare``, ``universe run|compare`` and ``scenario``
+    accept ``--topology NAME`` to execute over that topology's latency
+    fabric instead of the paper's ideal zero-latency network; ``run`` and
+    ``compare`` then also print the per-region switch-time breakdown.
+
 ``trace``
     Generate a synthetic clip2/DSS-style overlay trace file.
 
@@ -66,7 +74,9 @@ from repro.experiments.runner import run_pair, run_single
 from repro.experiments.scenarios import SCENARIOS
 from repro.experiments.store import MissingResultError, ResultStore, default_results_dir
 from repro.experiments.sweeps import run_size_sweep
+from repro.metrics.net import fabric_stats_rows, region_comparison_rows
 from repro.metrics.report import format_table
+from repro.net.library import TOPOLOGIES, get_topology, topology_names
 from repro.overlay.generator import generate_trace
 from repro.overlay.trace import write_trace
 from repro.channels.runner import UniverseResult, run_universe
@@ -106,6 +116,25 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_RESULTS_DIR if set)")
 
 
+def _add_topology_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--topology`` option to a sub-command."""
+    parser.add_argument("--topology", choices=topology_names(), default=None,
+                        help="run over this network topology's latency fabric "
+                             "(default: the ideal zero-latency network)")
+
+
+def _package_version() -> str:
+    """The installed package version (falls back to the module version)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-gossip")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def _resolve_store(args: argparse.Namespace, *, replay_only: bool = False,
                    required: bool = False) -> Optional[ResultStore]:
     """Build the :class:`ResultStore` selected by ``--results-dir``/env."""
@@ -128,6 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Peer-to-Peer Streaming' (ICPP 2008)"
         ),
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure's data")
@@ -186,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dynamic", action="store_true", help="enable 5%% churn per period")
     run.add_argument("--max-time", type=float, default=120.0)
     run.add_argument("--json", action="store_true")
+    _add_topology_argument(run)
 
     cmp_parser = sub.add_parser("compare", help="paired fast-vs-normal comparison")
     cmp_parser.add_argument("--n-nodes", type=int, default=200)
@@ -193,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--dynamic", action="store_true")
     cmp_parser.add_argument("--max-time", type=float, default=120.0)
     cmp_parser.add_argument("--json", action="store_true")
+    _add_topology_argument(cmp_parser)
 
     workload = sub.add_parser(
         "workload", help="list or run the time-scripted workloads"
@@ -218,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
         workload_run.add_argument("--compare", action="store_true",
                                   help="print only the paired switch-time comparison")
         workload_run.add_argument("--json", action="store_true")
+        _add_topology_argument(workload_run)
         _add_store_arguments(workload_run)
 
     universe = sub.add_parser(
@@ -247,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
         universe_run.add_argument("--compare", action="store_true",
                                   help="print only the per-decile zap-time comparison")
         universe_run.add_argument("--json", action="store_true")
+        _add_topology_argument(universe_run)
         _add_store_arguments(universe_run)
 
     scen = sub.add_parser("scenario", help="run a named example scenario")
@@ -260,7 +295,16 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--compare", action="store_true",
                       help="print only the paired switch-time comparison")
     scen.add_argument("--json", action="store_true")
+    _add_topology_argument(scen)
     _add_store_arguments(scen)
+
+    net = sub.add_parser("net", help="inspect the network-topology library")
+    net_sub = net.add_subparsers(dest="net_command", required=True)
+    net_ls = net_sub.add_parser("ls", help="list the named network topologies")
+    net_ls.add_argument("--json", action="store_true")
+    net_show = net_sub.add_parser("show", help="print one topology's full model")
+    net_show.add_argument("name", choices=topology_names())
+    net_show.add_argument("--json", action="store_true")
 
     trace = sub.add_parser("trace", help="generate a synthetic overlay trace file")
     trace.add_argument("path", help="output file path")
@@ -383,9 +427,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         dynamic=args.dynamic,
         max_time=args.max_time,
+        topology=args.topology or "",
     )
     result = run_single(config)
     rows = _metrics_rows(result)
+    if args.topology:
+        rows.extend(fabric_stats_rows(result.fabric_stats))
     if args.json:
         print(json.dumps({row["metric"]: row["value"] for row in rows}, indent=2))
     else:
@@ -399,14 +446,76 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         dynamic=args.dynamic,
         max_time=args.max_time,
+        topology=args.topology or "",
     )
     pair = run_pair(config)
     row = pair.comparison().as_dict()
+    region_rows = []
+    if args.topology:
+        region_rows = region_comparison_rows(
+            pair.normal.metrics.outcomes,
+            pair.fast.metrics.outcomes,
+            horizon=pair.normal.metrics.horizon,
+        )
     if args.json:
-        print(json.dumps(row, indent=2))
+        payload = dict(row)
+        if args.topology:
+            payload["topology"] = args.topology
+            payload["regions"] = region_rows
+        print(json.dumps(payload, indent=2))
     else:
         print(format_table([row]))
+        if region_rows:
+            print(f"\nper-region switch time over {args.topology!r}:")
+            print(format_table(region_rows))
         print(f"\nswitch-time reduction: {pair.switch_time_reduction:.1%}")
+    return 0
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    if args.net_command == "ls":
+        rows = [
+            {
+                "name": topology.name,
+                "regions": ",".join(topology.region_names),
+                "max_latency_ms": topology.max_latency_ms,
+                "lossy": topology.lossy,
+                "locality_bias": topology.locality_bias,
+                "description": topology.description,
+            }
+            for _, topology in sorted(TOPOLOGIES.items())
+        ]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(format_table(rows))
+        return 0
+    topology = get_topology(args.name)
+    if args.json:
+        print(json.dumps(topology.to_dict(), indent=2))
+        return 0
+    print(f"topology: {topology.name} -- {topology.description}")
+    print(f"locality_bias: {topology.locality_bias}")
+    print()
+    region_rows = [
+        {
+            "region": region.name,
+            "weight": region.weight,
+            "last_mile_ms": region.last_mile_ms,
+            "jitter_ms": region.jitter_ms,
+            "loss": region.loss,
+        }
+        for region in topology.regions
+    ]
+    print(format_table(region_rows))
+    print()
+    print("one-way backbone latency matrix (ms):")
+    matrix_rows = [
+        {"from/to": src.name, **{dst.name: topology.latency_ms[i][j]
+                                 for j, dst in enumerate(topology.regions)}}
+        for i, src in enumerate(topology.regions)
+    ]
+    print(format_table(matrix_rows))
     return 0
 
 
@@ -470,6 +579,8 @@ def _run_workload_spec(spec: WorkloadSpec, args: argparse.Namespace) -> int:
     store = _resolve_store(args, replay_only=args.from_store, required=args.from_store)
     if getattr(args, "n_nodes", None) is not None:
         spec = spec.scaled_to(args.n_nodes)
+    if getattr(args, "topology", None):
+        spec = spec.with_overrides(topology=args.topology)
     try:
         result = run_workload(
             spec,
@@ -526,6 +637,7 @@ def _universe_payload(result: UniverseResult, *, compare_only: bool) -> dict:
         "universe": result.spec.name,
         "n_channels": result.spec.n_channels,
         "n_viewers": result.spec.n_viewers,
+        "topology": result.spec.topology,
         "seed": result.seed,
         "repetitions": result.repetitions,
         "simulated": result.simulated,
@@ -542,6 +654,8 @@ def _universe_payload(result: UniverseResult, *, compare_only: bool) -> dict:
 def _print_universe_result(result: UniverseResult, *, compare_only: bool) -> None:
     spec = result.spec
     print(f"universe: {spec.name} -- {spec.description}")
+    if spec.topology:
+        print(f"topology: {spec.topology}")
     print(
         f"channels={spec.n_channels} viewers={spec.n_viewers} "
         f"zipf_exponent={spec.zipf_exponent} horizon={spec.horizon:.0f}s "
@@ -567,6 +681,7 @@ def _cmd_universe(args: argparse.Namespace) -> int:
                 "viewers": spec.n_viewers,
                 "zipf_exponent": spec.zipf_exponent,
                 "surfers": f"{spec.surfer_fraction:.0%}@{spec.surfer_zap_rate:.0%}/period",
+                "topology": spec.topology or "-",
                 "duration_s": spec.duration,
             }
             for _, spec in sorted(UNIVERSES.items())
@@ -583,6 +698,8 @@ def _cmd_universe(args: argparse.Namespace) -> int:
     try:
         if args.channels is not None or args.viewers is not None:
             spec = spec.scaled_to(n_channels=args.channels, n_viewers=args.viewers)
+        if args.topology:
+            spec = spec.with_topology(args.topology)
         result = run_universe(
             spec,
             seed=args.seed,
@@ -627,6 +744,7 @@ _COMMANDS = {
     "workload": _cmd_workload,
     "universe": _cmd_universe,
     "scenario": _cmd_scenario,
+    "net": _cmd_net,
     "trace": _cmd_trace,
 }
 

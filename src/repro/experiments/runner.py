@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.store import ResultStore, pair_fingerprint
+from repro.experiments.store import ResultStore, pair_fingerprint, persist_net_document
 from repro.metrics.report import ComparisonRow, compare_metrics
 from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
 
@@ -82,4 +82,5 @@ def run_pair(config: SessionConfig, *, store: Optional[ResultStore] = None) -> P
     pair = PairedRunResult(normal=normal_result, fast=fast_result)
     if store is not None and key is not None:
         store.save_pair(key, config, normal_result, fast_result)
+        persist_net_document(store, config.topology)
     return pair

@@ -25,9 +25,11 @@ Two granularities are stored:
     per-pair documents.
 
 Higher layers add their own kinds through the same envelope: ``workload``
-documents (one workload repetition, :mod:`repro.workloads.runner`) and
+documents (one workload repetition, :mod:`repro.workloads.runner`),
 ``universe`` documents (one channel-universe repetition,
-:mod:`repro.channels.runner`).
+:mod:`repro.channels.runner`) and ``net`` documents (the full
+:class:`~repro.net.topology.NetTopology` a latency-fabric run executed
+over, keyed by its content hash -- see :func:`net_fingerprint`).
 
 Keys change whenever the configuration *or* the code version changes, so a
 store never serves results produced by a different simulator; stale
@@ -67,6 +69,7 @@ from typing import (
 
 from repro.churn.model import ChurnConfig
 from repro.metrics.report import metrics_from_dict, metrics_to_dict
+from repro.net.topology import NetTopology
 from repro.streaming.bandwidth import PeerClass
 from repro.streaming.segment import SwitchPlan
 from repro.streaming.session import SessionConfig, SessionResult
@@ -80,6 +83,8 @@ __all__ = [
     "config_from_dict",
     "pair_fingerprint",
     "sweep_fingerprint",
+    "net_fingerprint",
+    "persist_net_document",
     "session_result_to_dict",
     "session_result_from_dict",
     "sweep_to_dict",
@@ -163,6 +168,46 @@ def stable_hash(payload: Mapping[str, Any]) -> str:
 _stable_hash = stable_hash
 
 
+def persist_net_document(
+    store: Optional["ResultStore"], topology_name: str
+) -> Optional[str]:
+    """Persist a named library topology as a ``net-*`` document.
+
+    The shared convenience used by every store-backed runner: whenever a
+    run executed over ``SessionConfig.topology``, the topology it resolved
+    to is written (idempotently) alongside the result documents.  Returns
+    the ``net-*`` key, or ``None`` when there is nothing to persist.
+    """
+    if store is None or not topology_name:
+        return None
+    from repro.net.library import get_topology
+
+    topology = get_topology(topology_name)
+    key = net_fingerprint(topology)
+    store.save_net(key, topology)
+    return key
+
+
+def net_fingerprint(topology: "NetTopology", *, version: Optional[str] = None) -> str:
+    """Stable store key of one network-topology configuration.
+
+    Covers the complete topology (dict round trip), the schema and the
+    code version.  Every run executed over a latency fabric persists its
+    topology as a ``net-*`` document under this key, so a stored
+    ``universe-*``/``workload-*``/``pair`` result can always be traced
+    back to -- and replayed against -- the exact region model that
+    produced it.
+    """
+    return "net-" + stable_hash(
+        {
+            "kind": "net",
+            "schema": SCHEMA_VERSION,
+            "code_version": version if version is not None else code_version(),
+            "topology": topology.to_dict(),
+        }
+    )
+
+
 def pair_fingerprint(config: SessionConfig, *, version: Optional[str] = None) -> str:
     """Stable store key of one paired run.
 
@@ -230,6 +275,7 @@ def session_result_to_dict(result: SessionResult) -> Dict[str, Any]:
         "overhead_series": [[t, v] for t, v in result.overhead_series],
         "wallclock_seconds": result.wallclock_seconds,
         "stop_reason": result.stop_reason,
+        "fabric_stats": dict(result.fabric_stats),
     }
 
 
@@ -246,6 +292,9 @@ def session_result_from_dict(payload: Mapping[str, Any]) -> SessionResult:
         overhead_series=[(float(t), float(v)) for t, v in payload["overhead_series"]],
         wallclock_seconds=float(payload["wallclock_seconds"]),
         stop_reason=str(payload["stop_reason"]),
+        fabric_stats={
+            str(k): float(v) for k, v in payload.get("fabric_stats", {}).items()
+        },
     )
 
 
@@ -301,6 +350,10 @@ def _describe(document: Mapping[str, Any]) -> str:
             f"universe={document.get('universe')} seed={document.get('seed')} "
             f"channels={document.get('n_channels')} viewers={document.get('n_viewers')}"
         )
+    if kind == "net":
+        topology = document.get("topology", {})
+        regions = [r.get("name") for r in topology.get("regions", [])]
+        return f"topology={topology.get('name')} regions={','.join(map(str, regions))}"
     return ""
 
 
@@ -487,6 +540,23 @@ class ResultStore:
             return None
         return payload
 
+    # -- net documents ----------------------------------------------------- #
+    def save_net(self, key: str, topology: "NetTopology") -> Path:
+        """Persist one network topology as a ``net-*`` document.
+
+        Saving is idempotent per key (the key is a content hash of the
+        topology), so every run over the same fabric simply refreshes the
+        same document.
+        """
+        return self.save(key, {"kind": "net", "topology": topology.to_dict()})
+
+    def load_net(self, key: str) -> Optional["NetTopology"]:
+        """The topology stored under ``key`` (or ``None``)."""
+        payload = self.load(key)
+        if payload is None or payload.get("kind") != "net":
+            return None
+        return NetTopology.from_dict(payload["topology"])
+
     # -- sweep documents ------------------------------------------------- #
     def save_sweep(self, key: str, sweep: "SizeSweepResult", params: Mapping[str, Any]) -> Path:
         """Persist one aggregated size sweep under ``key``."""
@@ -505,7 +575,13 @@ class ResultStore:
     #: Filename globs of the store's own documents.  ``keys``/``clear``
     #: only ever touch these shapes, so pointing ``--results-dir`` at a
     #: directory that also holds unrelated ``.json`` files is safe.
-    _DOCUMENT_GLOBS = ("pair-*.json", "sweep-*.json", "workload-*.json", "universe-*.json")
+    _DOCUMENT_GLOBS = (
+        "pair-*.json",
+        "sweep-*.json",
+        "workload-*.json",
+        "universe-*.json",
+        "net-*.json",
+    )
 
     def _document_paths(self) -> List[Path]:
         paths: List[Path] = []

@@ -51,6 +51,9 @@ class PeerOutcome:
     peer_class:
         Bandwidth-class label of the peer (empty when the population is
         homogeneous); feeds the per-class workload metrics.
+    region:
+        Network-region label of the peer (empty under the ideal fabric);
+        feeds the per-region switch-time breakdown of :mod:`repro.metrics.net`.
     """
 
     node_id: int
@@ -62,6 +65,7 @@ class PeerOutcome:
     stalls_new: int = 0
     segments_received: int = 0
     peer_class: str = ""
+    region: str = ""
 
 
 @dataclass(frozen=True)
@@ -230,6 +234,7 @@ class MetricsCollector:
                     ),
                     segments_received=peer.segments_received_total,
                     peer_class=str(getattr(peer, "peer_class", "")),
+                    region=str(getattr(peer, "region", "")),
                 )
             )
 

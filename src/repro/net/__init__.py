@@ -1,0 +1,25 @@
+"""The latency-aware network layer: regions, lossy links, fabrics.
+
+See :mod:`repro.net.topology` for the region model,
+:mod:`repro.net.link` for loss/delay sampling,
+:mod:`repro.net.fabric` for the session-facing fabrics and
+:mod:`repro.net.library` for the named, ready-to-use topologies.
+"""
+
+from repro.net.fabric import IdealFabric, LatencyFabric, NetworkFabric, build_fabric
+from repro.net.library import TOPOLOGIES, get_topology, topology_names
+from repro.net.link import LinkModel
+from repro.net.topology import NetTopology, Region
+
+__all__ = [
+    "Region",
+    "NetTopology",
+    "LinkModel",
+    "NetworkFabric",
+    "IdealFabric",
+    "LatencyFabric",
+    "build_fabric",
+    "TOPOLOGIES",
+    "get_topology",
+    "topology_names",
+]

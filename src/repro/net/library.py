@@ -1,0 +1,109 @@
+"""The registry of named, ready-to-use network topologies.
+
+Three topologies ship with the network layer, spanning the geography axis
+from "everyone in one city" to "a planet-wide lineup":
+
+``metro``
+    One metropolitan area: three regions (core, suburbs, exurbs) a few
+    milliseconds apart, clean links, a mild same-region partner bias.
+    Latency exists but stays well under a scheduling period -- the gentle
+    end of the axis.
+``transcontinental``
+    Four regions (NA-East, NA-West, Europe, Asia) with realistic one-way
+    backbone latencies up to ~110 ms, 1 % lossy last miles and a strong
+    locality bias.  The headline geography workload: cross-region pulls
+    lose a scheduling period to propagation + retries, which widens
+    switch times -- and widens the fast algorithm's advantage.
+``lossy-edge``
+    Two regions: a clean core and a congested edge whose last mile drops
+    5 % of messages with heavy jitter.  Stresses the drop+retry path
+    rather than propagation delay.
+
+All topologies are plain :class:`~repro.net.topology.NetTopology` values;
+``repro net ls`` lists them and ``repro net show NAME`` prints the full
+matrix.  Custom topologies can be passed to sessions directly through the
+``fabric=`` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.net.topology import NetTopology, Region
+
+__all__ = ["TOPOLOGIES", "get_topology", "topology_names"]
+
+
+TOPOLOGIES: Dict[str, NetTopology] = {
+    topology.name: topology
+    for topology in (
+        NetTopology(
+            name="metro",
+            description="one metro area: core/suburbs/exurbs, single-digit-ms paths",
+            regions=(
+                Region("core", weight=0.5, last_mile_ms=4.0, jitter_ms=1.0, loss=0.0),
+                Region("suburbs", weight=0.35, last_mile_ms=8.0, jitter_ms=2.0,
+                       loss=0.002),
+                Region("exurbs", weight=0.15, last_mile_ms=14.0, jitter_ms=4.0,
+                       loss=0.005),
+            ),
+            latency_ms=(
+                (1.0, 3.0, 6.0),
+                (3.0, 2.0, 7.0),
+                (6.0, 7.0, 3.0),
+            ),
+            locality_bias=2.0,
+        ),
+        NetTopology(
+            name="transcontinental",
+            description="NA-East/NA-West/Europe/Asia, up to ~110 ms one-way, "
+                        "1% lossy last miles",
+            regions=(
+                Region("na-east", weight=0.3, last_mile_ms=15.0, jitter_ms=5.0,
+                       loss=0.01),
+                Region("na-west", weight=0.2, last_mile_ms=15.0, jitter_ms=5.0,
+                       loss=0.01),
+                Region("europe", weight=0.3, last_mile_ms=15.0, jitter_ms=5.0,
+                       loss=0.01),
+                Region("asia", weight=0.2, last_mile_ms=18.0, jitter_ms=6.0,
+                       loss=0.01),
+            ),
+            latency_ms=(
+                (8.0, 35.0, 45.0, 110.0),
+                (35.0, 8.0, 75.0, 60.0),
+                (45.0, 75.0, 10.0, 90.0),
+                (110.0, 60.0, 90.0, 12.0),
+            ),
+            locality_bias=4.0,
+        ),
+        NetTopology(
+            name="lossy-edge",
+            description="clean core vs. congested edge dropping 5% with heavy jitter",
+            regions=(
+                Region("core", weight=0.4, last_mile_ms=6.0, jitter_ms=2.0, loss=0.0),
+                Region("edge", weight=0.6, last_mile_ms=40.0, jitter_ms=20.0,
+                       loss=0.05),
+            ),
+            latency_ms=(
+                (2.0, 12.0),
+                (12.0, 4.0),
+            ),
+            locality_bias=1.0,
+        ),
+    )
+}
+
+
+def get_topology(name: str) -> NetTopology:
+    """The library topology called ``name`` (raises ``KeyError`` if unknown)."""
+    try:
+        return TOPOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; known: {topology_names()}"
+        ) from None
+
+
+def topology_names() -> List[str]:
+    """Sorted names of the library topologies."""
+    return sorted(TOPOLOGIES)

@@ -1,0 +1,107 @@
+"""Per-message loss and delay sampling over a :class:`NetTopology`.
+
+The :class:`LinkModel` is the stochastic half of the network layer: given
+the source and destination *region indices* of a message it draws
+
+* one uniform variate against the combined end-to-end loss probability
+  (the two last miles drop independently), and
+* one uniform jitter variate on top of the deterministic path latency
+  (backbone entry plus both last miles).
+
+Both draws come from a single :class:`numpy.random.Generator` owned by the
+caller -- in practice one of the session's named
+:class:`~repro.sim.rng.RandomStreams` -- so results are bit-for-bit
+reproducible from the experiment seed, identical between serial and
+worker-pool execution, and *paired* between the fast and normal switch
+algorithms (both sessions of a pair derive the same generator).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.net.topology import NetTopology
+
+__all__ = ["LinkModel"]
+
+
+class LinkModel:
+    """Samples message loss and one-way delay between regions.
+
+    Parameters
+    ----------
+    topology:
+        The region model supplying latencies, jitter and loss rates.
+    rng:
+        Deterministic generator for the loss and jitter draws.
+    """
+
+    def __init__(self, topology: NetTopology, rng: np.random.Generator) -> None:
+        self.topology = topology
+        self._rng = rng
+        n = topology.n_regions
+        last_mile = [region.last_mile_ms for region in topology.regions]
+        jitter = [region.jitter_ms for region in topology.regions]
+        keep = [1.0 - region.loss for region in topology.regions]
+        # Precomputed pairwise tables: deterministic per-path base delay,
+        # total jitter half-width and combined loss probability.
+        self._base_s = [
+            [
+                (topology.latency_ms[i][j] + last_mile[i] + last_mile[j]) / 1000.0
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        self._jitter_s = [
+            [(jitter[i] + jitter[j]) / 1000.0 for j in range(n)] for i in range(n)
+        ]
+        self._loss = [[1.0 - keep[i] * keep[j] for j in range(n)] for i in range(n)]
+        #: cumulative counters, read by the fabric's statistics
+        self.messages = 0
+        self.dropped = 0
+        self.total_delay = 0.0
+
+    # ------------------------------------------------------------------ #
+    def loss_probability(self, src_region: int, dst_region: int) -> float:
+        """Combined drop probability of the two endpoints' access networks."""
+        return self._loss[src_region][dst_region]
+
+    def base_delay(self, src_region: int, dst_region: int) -> float:
+        """Deterministic one-way path delay (backbone + both last miles), s."""
+        return self._base_s[src_region][dst_region]
+
+    def transfer(self, src_region: int, dst_region: int) -> Optional[float]:
+        """Sample one message transmission between two regions.
+
+        Returns the one-way delay in seconds, or ``None`` when the message
+        is dropped.  Exactly one uniform draw is consumed for the loss
+        decision and (when delivered and the path is jittered) one more for
+        the jitter, keeping the stream deterministic per delivered/dropped
+        sequence.
+        """
+        self.messages += 1
+        loss = self._loss[src_region][dst_region]
+        if loss > 0.0 and float(self._rng.random()) < loss:
+            self.dropped += 1
+            return None
+        delay = self._base_s[src_region][dst_region]
+        jitter = self._jitter_s[src_region][dst_region]
+        if jitter > 0.0:
+            delay += jitter * float(self._rng.uniform(-1.0, 1.0))
+        delay = max(0.0, delay)
+        self.total_delay += delay
+        return delay
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean sampled delay over all delivered messages (seconds)."""
+        delivered = self.messages - self.dropped
+        return self.total_delay / delivered if delivered > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkModel(topology={self.topology.name!r}, messages={self.messages}, "
+            f"dropped={self.dropped})"
+        )

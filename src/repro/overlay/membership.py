@@ -21,7 +21,7 @@ itself (whose traffic the paper does not count either).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,10 +60,42 @@ class MembershipService:
         self._rng = rng
         self.protected = set(protected)
         self._next_id = (max(overlay.node_ids) + 1) if len(overlay) else 0
+        self._region_index_of: Optional[Callable[[int], Optional[int]]] = None
+        self._locality_bias = 1.0
         #: cumulative counters, useful for tests and reports
         self.joins = 0
         self.leaves = 0
         self.repairs = 0
+
+    # ------------------------------------------------------------------ #
+    # locality-aware partner selection
+    # ------------------------------------------------------------------ #
+    def set_locality(
+        self,
+        region_index_of: Callable[[int], Optional[int]],
+        bias: float,
+    ) -> None:
+        """Enable locality-aware partner selection.
+
+        ``region_index_of`` maps a node id to its network-region index (or
+        ``None`` when unknown) and ``bias`` is the weight multiplier for
+        same-region candidates: with bias ``b``, a same-region candidate is
+        ``b`` times as likely to be drawn as a remote one.  A ``bias`` of
+        1.0 (or less) is a no-op: locality stays disabled and partner
+        selection keeps the classic region-blind uniform draw, bit
+        identical to a service that never saw this call.  (The weighted
+        draw consumes the random stream differently from the uniform one,
+        which is why enabling locality is gated on ``bias > 1`` rather
+        than on passing weight 1.0 into the weighted path.)
+        """
+        if bias > 1.0:
+            self._region_index_of = region_index_of
+            self._locality_bias = float(bias)
+
+    @property
+    def locality_enabled(self) -> bool:
+        """Whether partner selection is biased toward same-region nodes."""
+        return self._region_index_of is not None
 
     # ------------------------------------------------------------------ #
     # membership changes
@@ -151,7 +183,24 @@ class MembershipService:
         if not candidates:
             return 0
         count = min(count, len(candidates))
-        chosen = self._rng.choice(len(candidates), size=count, replace=False)
+        if self._region_index_of is not None:
+            # Locality-aware draw: same-region candidates carry ``bias``
+            # weight, everyone else 1.0 (unknown regions count as remote).
+            own = self._region_index_of(node_id)
+            weights = np.array(
+                [
+                    self._locality_bias
+                    if own is not None and self._region_index_of(c) == own
+                    else 1.0
+                    for c in candidates
+                ],
+                dtype=float,
+            )
+            chosen = self._rng.choice(
+                len(candidates), size=count, replace=False, p=weights / weights.sum()
+            )
+        else:
+            chosen = self._rng.choice(len(candidates), size=count, replace=False)
         added = 0
         for idx in np.atleast_1d(chosen):
             if self.overlay.add_edge(node_id, candidates[int(idx)]):

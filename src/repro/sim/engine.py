@@ -170,6 +170,11 @@ class SimulationEngine:
             while True:
                 nxt = self.queue.peek()
                 if nxt is None:
+                    if until is not None and until > self.clock.now:
+                        # The queue drained before the horizon: still advance
+                        # the clock to it, so callers observe the time they
+                        # asked to run until (mirrors the future-event case).
+                        self.clock.advance_to(until)
                     break
                 if until is not None and nxt.time > until:
                     # Advance the clock to the horizon so callers observe it.

@@ -76,6 +76,12 @@ class PeerClass:
         Inbound rate distribution parameters, in segments/second.
     outbound_low / outbound_high / outbound_mean:
         Outbound rate distribution parameters, in segments/second.
+    region:
+        Optional network-region pin: when the session runs on a latency
+        fabric whose topology names this region, every member of the class
+        lives there (ADSL in the exurbs, fiber downtown ...).  Empty keeps
+        the topology's weighted-random assignment; the pin is ignored by
+        the ideal fabric.
     """
 
     name: str
@@ -86,6 +92,7 @@ class PeerClass:
     outbound_low: float
     outbound_high: float
     outbound_mean: float
+    region: str = ""
 
     def __post_init__(self) -> None:
         if not self.name:

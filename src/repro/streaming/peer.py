@@ -67,6 +67,11 @@ class PeerNode:
     peer_class:
         Optional bandwidth-class label (ADSL/cable/fiber ...) used by the
         per-class workload metrics; empty for homogeneous populations.
+    region:
+        Optional network-region label assigned by the session's
+        :class:`~repro.net.fabric.NetworkFabric`; empty under the ideal
+        (network-oblivious) fabric.  Feeds the per-region switch-time
+        breakdown.
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class PeerNode:
         lookahead: int = 600,
         tracked: bool = True,
         peer_class: str = "",
+        region: str = "",
     ) -> None:
         self.node_id = int(node_id)
         self.bandwidth = bandwidth
@@ -94,6 +100,7 @@ class PeerNode:
         self.lookahead = int(lookahead)
         self.tracked = bool(tracked)
         self.peer_class = str(peer_class)
+        self.region = str(region)
 
         self.buffer = SegmentBuffer(capacity=buffer_capacity)
         self.playback_old: Optional[PlaybackState] = None

@@ -37,6 +37,8 @@ from repro.core.fast_switch import FastSwitchAlgorithm
 from repro.core.normal_switch import NormalSwitchAlgorithm
 from repro.metrics.collectors import MetricsCollector, SwitchMetrics
 from repro.metrics.overhead import OverheadAccountant
+from repro.net.fabric import NetworkFabric, build_fabric
+from repro.net.library import get_topology, topology_names
 from repro.overlay.augment import augment_to_min_degree
 from repro.overlay.generator import generate_trace
 from repro.overlay.membership import MembershipService
@@ -257,6 +259,15 @@ class SessionConfig:
         peer has switched.  The workload engine needs this so post-switch
         phases (churn bursts, congestion windows) still execute and their
         QoE is measured.
+    topology:
+        Name of a library network topology (:mod:`repro.net.library`).
+        Empty (the default) runs on the zero-latency, lossless
+        :class:`~repro.net.fabric.IdealFabric` -- the paper's implicit
+        model, bit-identical to the pre-network-layer simulator.  A named
+        topology runs on a :class:`~repro.net.fabric.LatencyFabric`:
+        peers are assigned to regions, buffer-map pulls and segment
+        requests can be lost (and are retried the next period), and
+        segment deliveries arrive after a sampled propagation delay.
     """
 
     n_nodes: int = 200
@@ -290,8 +301,13 @@ class SessionConfig:
     record_rounds: bool = True
     peer_classes: Tuple[PeerClass, ...] = ()
     run_full_horizon: bool = False
+    topology: str = ""
 
     def __post_init__(self) -> None:
+        if self.topology and self.topology not in topology_names():
+            raise ValueError(
+                f"unknown topology {self.topology!r}; known: {topology_names()}"
+            )
         if self.n_nodes < self.min_degree + 2:
             raise ValueError(
                 f"need at least min_degree + 2 = {self.min_degree + 2} nodes, got {self.n_nodes}"
@@ -340,6 +356,7 @@ class SessionResult:
     overhead_series: List[Tuple[float, float]]
     wallclock_seconds: float
     stop_reason: str
+    fabric_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def algorithm(self) -> str:
@@ -377,6 +394,13 @@ class SwitchSession:
         Override for membership-service construction; called with the
         session's overlay and the protected source ids.  The channel
         directory injects per-channel membership services this way.
+    fabric:
+        Override for the network fabric.  Defaults to a
+        :class:`~repro.net.fabric.LatencyFabric` built from
+        ``config.topology`` (seeded from the session's ``"net"`` stream,
+        so paired runs and worker fan-outs stay deterministic) or, with no
+        topology configured, the zero-latency
+        :class:`~repro.net.fabric.IdealFabric`.
     """
 
     def __init__(
@@ -391,6 +415,7 @@ class SwitchSession:
         membership_factory: Optional[
             Callable[[Overlay, frozenset], MembershipService]
         ] = None,
+        fabric: Optional[NetworkFabric] = None,
     ) -> None:
         self.config = config
         self.label = label
@@ -398,6 +423,13 @@ class SwitchSession:
         self._membership_factory = membership_factory
         self._directives: Dict[int, PeriodDirective] = dict(directives or {})
         self.streams = RandomStreams(config.seed)
+        if fabric is not None:
+            self.fabric = fabric
+        else:
+            topology = get_topology(config.topology) if config.topology else None
+            self.fabric = build_fabric(
+                topology, self.streams.get("net") if topology else None
+            )
         self._owns_engine = engine is None
         if engine is not None and config.warmup == "simulated":
             raise ValueError(
@@ -406,6 +438,10 @@ class SwitchSession:
         self.engine = engine if engine is not None else SimulationEngine(
             start_time=-config.warmup_duration if config.warmup == "simulated" else 0.0
         )
+        #: region pin per bandwidth-class name (classes without a pin omitted)
+        self._class_region_pin: Dict[str, str] = {
+            cls.name: cls.region for cls in config.peer_classes if cls.region
+        }
         self._stop_reason: Optional[str] = None
         self._wallclock = 0.0
         self.overlay = overlay.copy() if overlay is not None else self._build_overlay()
@@ -440,6 +476,7 @@ class SwitchSession:
 
         self.old_source_id, self.new_source_id = self._choose_sources(rng)
         self._assign_bandwidth()
+        self._assign_regions()
         self._create_sources()
         self._create_peers()
 
@@ -452,6 +489,10 @@ class SwitchSession:
                 cfg.min_degree,
                 self.streams.get("membership"),
                 protected=protected,
+            )
+        if self.fabric.locality_bias > 1.0:
+            self.membership.set_locality(
+                self.fabric.region_index_of, self.fabric.locality_bias
             )
         self.churn = ChurnModel(cfg.churn, self.streams.get("churn"))
         self.ledger = OutboundLedger(self._outbound, cfg.tau)
@@ -524,6 +565,22 @@ class SwitchSession:
             self._inbound[source_id] = 0.0
             self._outbound[source_id] = cfg.source_outbound
 
+    def _assign_regions(self) -> None:
+        """Place every node (sources included) on the fabric's regions.
+
+        Peer classes that pin a region (``PeerClass.region``) override the
+        topology's weighted-random draw for their members; the draw is
+        still consumed for every node, so pinning one class never perturbs
+        the other nodes' placement.  The ideal fabric ignores all of this.
+        """
+        pinned: Dict[int, str] = {}
+        if self._class_region_pin and self.fabric.topology is not None:
+            for node_id, class_name in self._peer_class.items():
+                region = self._class_region_pin.get(class_name, "")
+                if region:
+                    pinned[node_id] = region
+        self.fabric.assign_regions(self.overlay.node_ids, pinned)
+
     def _create_sources(self) -> None:
         cfg = self.config
         warmup_simulated = cfg.warmup == "simulated"
@@ -583,6 +640,7 @@ class SwitchSession:
                 lookahead=cfg.lookahead,
                 tracked=True,
                 peer_class=self._peer_class.get(node_id, ""),
+                region=self.fabric.region_of(node_id),
             )
 
     # ------------------------------------------------------------------ #
@@ -694,8 +752,20 @@ class SwitchSession:
                 if not self.ledger.consume(request.supplier_id):
                     peer.record_failed_request()
                     continue
-                deliveries.append((peer, request.seg_id))
                 self.overhead.add_data(DEFAULT_SEGMENT_BITS)
+                delay = self.fabric.data_transfer(request.supplier_id, peer.node_id)
+                if delay is None:
+                    # The segment was lost in flight.  The loss sits on the
+                    # large response, not the tiny request, so the
+                    # supplier's upload budget and the wire bytes are spent
+                    # regardless; the scheduler re-requests the segment
+                    # next period (drop + retry).
+                    peer.record_failed_request()
+                    continue
+                if delay <= 0.0:
+                    deliveries.append((peer, request.seg_id))
+                else:
+                    self._schedule_delivery(peer.node_id, request.seg_id, delay)
 
         for peer, seg_id in deliveries:
             peer.apply_delivery(seg_id, now)
@@ -712,13 +782,34 @@ class SwitchSession:
                 )
             self._maybe_stop(now)
 
+    def _schedule_delivery(self, node_id: int, seg_id: int, delay: float) -> None:
+        """Deliver ``seg_id`` to ``node_id`` after the network delay.
+
+        The receiving peer may have left through churn by the arrival time,
+        in which case the segment evaporates with it.
+        """
+
+        def deliver() -> None:
+            peer = self.peers.get(node_id)
+            if peer is not None:
+                peer.apply_delivery(seg_id, self.engine.now)
+
+        self.engine.schedule_in(delay, deliver, label="net-delivery")
+
     def _pull_buffer_maps(self, peer: PeerNode) -> List[BufferMapSnapshot]:
-        """Pull one buffer map per current neighbour (charging control traffic)."""
+        """Pull one buffer map per current neighbour (charging control traffic).
+
+        On a lossy fabric a pull (or its reply) can be dropped: the peer
+        simply schedules this period without that neighbour's map and
+        retries at the next period -- pull-based gossip is self-healing.
+        """
         windows = peer.interest_windows()
         snapshots: List[BufferMapSnapshot] = []
         for neighbour_id in self.overlay.neighbours(peer.node_id):
             node = self._node(neighbour_id)
             if node is None:
+                continue
+            if self.fabric.control_transfer(neighbour_id, peer.node_id) is None:
                 continue
             send_rate = self._estimate_send_rate(neighbour_id)
             snapshot = node.snapshot_for(windows, send_rate=send_rate)
@@ -856,6 +947,10 @@ class SwitchSession:
         self._outbound[node_id] = outbound
         self._peer_class[node_id] = class_name
         self.ledger.add_node(node_id, outbound)
+        pinned_region = ""
+        if self.fabric.topology is not None:
+            pinned_region = self._class_region_pin.get(class_name, "")
+        self.fabric.assign_joiner(node_id, region=pinned_region)
 
         peer = PeerNode(
             node_id,
@@ -869,6 +964,7 @@ class SwitchSession:
             lookahead=cfg.lookahead,
             tracked=False,
             peer_class=class_name,
+            region=self.fabric.region_of(node_id),
         )
         # A joiner follows its neighbours' current playback point rather than
         # back-filling history (paper, Section 5.4).
@@ -958,6 +1054,7 @@ class SwitchSession:
             overhead_series=self.overhead.ratio_series(),
             wallclock_seconds=self._wallclock,
             stop_reason=self._stop_reason or "queue exhausted",
+            fabric_stats=dict(self.fabric.stats()),
         )
 
 

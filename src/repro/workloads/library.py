@@ -32,7 +32,11 @@ All sizes are laptop/CI friendly; use
 The library also registers the named **multi-channel universes**
 (:data:`UNIVERSES`): whole-lineup zapping simulations built on
 :mod:`repro.channels`, headlined by ``lineup-zipf`` -- a 20-channel Zipf
-lineup with 1000 surfing/loyal viewers.
+lineup with 1000 surfing/loyal viewers -- and ``lineup-global``, the same
+idea spread over the ``transcontinental`` network topology
+(:mod:`repro.net.library`) with lossy last miles and locality-biased
+overlays.  Any universe can be moved onto a topology with
+``repro universe run NAME --topology transcontinental``.
 """
 
 from __future__ import annotations
@@ -222,6 +226,22 @@ UNIVERSES: Dict[str, UniverseSpec] = {
             surfer_zap_rate=0.25,
             loyal_zap_rate=0.02,
             duration=45.0,
+        ),
+        UniverseSpec(
+            name="lineup-global",
+            description=(
+                "A transcontinental lineup: 8 channels, 400 viewers spread "
+                "over NA-East/NA-West/Europe/Asia with lossy last miles and "
+                "locality-biased overlays -- the geography stress case."
+            ),
+            n_channels=8,
+            n_viewers=400,
+            zipf_exponent=1.1,
+            surfer_fraction=0.3,
+            surfer_zap_rate=0.12,
+            loyal_zap_rate=0.01,
+            duration=45.0,
+            topology="transcontinental",
         ),
         UniverseSpec(
             name="lineup-mini",

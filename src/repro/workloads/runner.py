@@ -36,6 +36,7 @@ from repro.experiments.store import (
     SCHEMA_VERSION,
     ResultStore,
     code_version,
+    persist_net_document,
     replay_or_execute,
     stable_hash,
 )
@@ -455,17 +456,25 @@ class WorkloadRunner:
             document = self.store.load_workload(key)
             return None if document is None else rep_from_dict(document["rep"])
 
+        # The topology is fixed per spec: persist its net-* document (and
+        # hash it) at most once per run, on the first fresh repetition.
+        net_key_memo: List[Optional[str]] = []
+
         def _save(key: str, index: int, rep: WorkloadRepResult) -> None:
-            self.store.save_workload(
-                key,
-                {
-                    "workload": spec.name,
-                    "seed": rep_seeds[index],
-                    "n_nodes": spec.n_nodes,
-                    "spec": spec.to_dict(),
-                    "rep": rep_to_dict(rep),
-                },
-            )
+            if not net_key_memo:
+                net_key_memo.append(persist_net_document(
+                    self.store, str(spec.overrides_dict().get("topology", ""))
+                ))
+            document = {
+                "workload": spec.name,
+                "seed": rep_seeds[index],
+                "n_nodes": spec.n_nodes,
+                "spec": spec.to_dict(),
+                "rep": rep_to_dict(rep),
+            }
+            if net_key_memo[0] is not None:
+                document["net_key"] = net_key_memo[0]
+            self.store.save_workload(key, document)
 
         reps, replayed = replay_or_execute(
             self.store,

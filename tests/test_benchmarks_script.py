@@ -1,0 +1,86 @@
+"""Tests for the perf-trajectory summary script (benchmarks/run_benchmarks.py).
+
+The pinned suite itself runs in CI (its ``BENCH_<sha>.json`` artifact is
+uploaded there); these tests cover the summarisation logic and the sha
+lookup without paying for a benchmark run.
+"""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "benchmarks" / "run_benchmarks.py"
+
+
+def load_script():
+    spec = importlib.util.spec_from_file_location("run_benchmarks", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+FAKE_PAYLOAD = {
+    "machine_info": {"python_version": "3.11.0", "machine": "x86_64"},
+    "benchmarks": [
+        {
+            "fullname": "benchmarks/bench_core_scheduler.py::test_fast",
+            "stats": {"mean": 0.002, "stddev": 0.0001, "min": 0.0018, "rounds": 50},
+        },
+        {
+            "fullname": "benchmarks/bench_simulator_throughput.py::test_small",
+            "stats": {"mean": 1.5, "stddev": 0.05, "min": 1.4, "rounds": 5},
+        },
+    ],
+}
+
+
+def test_summarise_produces_sorted_scalar_rows():
+    module = load_script()
+    summary = module.summarise(FAKE_PAYLOAD, "abc1234")
+    assert summary["git_sha"] == "abc1234"
+    assert summary["schema"] == 1
+    assert summary["python"] == "3.11.0"
+    names = [row["name"] for row in summary["benchmarks"]]
+    assert names == sorted(names)
+    row = summary["benchmarks"][0]
+    assert set(row) == {"name", "mean_s", "stddev_s", "min_s", "rounds"}
+    # The whole summary is plain JSON (diffs cleanly across commits).
+    json.dumps(summary)
+
+
+def test_summarise_empty_payload():
+    module = load_script()
+    summary = module.summarise({}, "deadbeef")
+    assert summary["benchmarks"] == []
+
+
+def test_git_sha_matches_repository():
+    module = load_script()
+    sha = module.git_sha(REPO_ROOT)
+    expected = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    assert sha == expected
+
+
+def test_git_sha_outside_repository(tmp_path):
+    module = load_script()
+    assert module.git_sha(tmp_path) == "unknown"
+
+
+def test_pinned_subset_files_exist():
+    module = load_script()
+    for name in module.PINNED_BENCHMARKS:
+        assert (REPO_ROOT / "benchmarks" / name).exists(), name
+
+
+def test_script_help_runs():
+    proc = subprocess.run(
+        [sys.executable, str(SCRIPT), "--help"], capture_output=True, text=True
+    )
+    assert proc.returncode == 0
+    assert "BENCH_<sha>.json" in proc.stdout

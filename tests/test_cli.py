@@ -281,3 +281,98 @@ def test_workload_compare_json_is_switch_focused(tmp_path, capsys):
     assert payload["workload"] == "paper-baseline"
     assert "mean_reduction" in payload and "switch_rows" in payload
     assert "class_rows" not in payload and "phase_rows" not in payload
+
+
+def test_version_flag_prints_package_version(capsys):
+    from repro.cli import _package_version
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert _package_version() in out
+    assert "repro-gossip" in out
+
+
+def test_parser_knows_net_subcommands_and_topology_flags():
+    parser = build_parser()
+    args = parser.parse_args(["net", "ls"])
+    assert args.command == "net" and args.net_command == "ls"
+    args = parser.parse_args(["net", "show", "transcontinental"])
+    assert args.net_command == "show" and args.name == "transcontinental"
+    args = parser.parse_args(["run", "--topology", "metro"])
+    assert args.topology == "metro"
+    args = parser.parse_args(["compare", "--topology", "transcontinental"])
+    assert args.topology == "transcontinental"
+    args = parser.parse_args(["workload", "run", "zapping", "--topology", "metro"])
+    assert args.topology == "metro"
+    args = parser.parse_args(["universe", "run", "lineup-mini",
+                              "--topology", "transcontinental"])
+    assert args.topology == "transcontinental"
+    args = parser.parse_args(["scenario", "video-conference", "--topology", "metro"])
+    assert args.topology == "metro"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--topology", "atlantis"])
+
+
+def test_net_ls_lists_library(capsys):
+    assert main(["net", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "metro" in out and "transcontinental" in out
+
+
+def test_net_ls_json(capsys):
+    assert main(["net", "ls", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    names = {row["name"] for row in rows}
+    assert {"metro", "transcontinental"} <= names
+
+
+def test_net_show_prints_matrix(capsys):
+    assert main(["net", "show", "transcontinental"]) == 0
+    out = capsys.readouterr().out
+    assert "latency matrix" in out
+    assert "na-east" in out and "asia" in out
+    assert "locality_bias: 4.0" in out
+
+
+def test_net_show_json_round_trips(capsys):
+    from repro.net.library import get_topology
+    from repro.net.topology import NetTopology
+
+    assert main(["net", "show", "metro", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert NetTopology.from_dict(payload) == get_topology("metro")
+
+
+def test_run_command_with_topology_reports_net_stats(capsys):
+    argv = ["run", "--n-nodes", "40", "--seed", "3", "--max-time", "40",
+            "--topology", "metro", "--json"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["net messages"] > 0
+    assert payload["avg switch time (s)"] > 0
+
+
+def test_compare_command_with_topology_reports_regions(capsys):
+    argv = ["compare", "--n-nodes", "40", "--seed", "3", "--max-time", "40",
+            "--topology", "metro", "--json"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["topology"] == "metro"
+    regions = {row["region"] for row in payload["regions"]}
+    assert regions <= {"core", "suburbs", "exurbs"}
+    assert len(regions) >= 1
+
+
+def test_universe_run_with_topology_persists_net_document(tmp_path, capsys):
+    results = tmp_path / "results"
+    argv = ["universe", "run", "lineup-mini", "--channels", "3", "--viewers", "36",
+            "--topology", "metro", "--results-dir", str(results), "--json"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["topology"] == "metro"
+    from repro.experiments.store import ResultStore
+
+    store = ResultStore(results)
+    assert any(key.startswith("net-") for key in store.keys())

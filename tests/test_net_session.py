@@ -1,0 +1,188 @@
+"""Integration tests: the network fabric threaded through sessions.
+
+Covers the tentpole acceptance properties:
+
+* the default (ideal) fabric consumes no randomness and leaves every
+  result field exactly as the network-oblivious simulator produced it;
+* a topology session assigns regions, delays deliveries, drops and
+  retries, and still completes the switch;
+* paired fast-vs-normal runs over ``transcontinental`` stay paired and
+  the fast algorithm wins in every region;
+* results round-trip through the store (``fabric_stats`` included) and
+  latency runs persist ``net-*`` documents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import run_pair, run_single
+from repro.experiments.store import (
+    ResultStore,
+    config_from_dict,
+    config_to_dict,
+    net_fingerprint,
+    session_result_from_dict,
+    session_result_to_dict,
+)
+from repro.metrics.net import (
+    fabric_stats_rows,
+    per_region_switch_stats,
+    region_comparison_rows,
+)
+from repro.net.fabric import IdealFabric, LatencyFabric
+from repro.net.library import get_topology
+from repro.streaming.session import SessionConfig, SwitchSession
+
+
+def small_config(n_nodes=80, **overrides):
+    defaults = dict(seed=1, max_time=80.0)
+    defaults.update(overrides)
+    return make_session_config(n_nodes, **defaults)
+
+
+class TestIdealDefault:
+    def test_default_session_uses_ideal_fabric(self):
+        session = SwitchSession(small_config(n_nodes=40, max_time=10.0))
+        assert isinstance(session.fabric, IdealFabric)
+        assert not session.membership.locality_enabled
+
+    def test_ideal_run_has_no_regions_and_empty_stats(self):
+        result = run_single(small_config(n_nodes=60, max_time=60.0))
+        assert result.fabric_stats == {}
+        assert all(outcome.region == "" for outcome in result.metrics.outcomes)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            SessionConfig(n_nodes=40, topology="atlantis")
+
+
+class TestTopologySession:
+    def test_regions_assigned_and_switch_completes(self):
+        result = run_single(small_config(n_nodes=80, topology="transcontinental"))
+        regions = {o.region for o in result.metrics.outcomes}
+        assert regions <= {"na-east", "na-west", "europe", "asia"}
+        assert len(regions) >= 2, "expected a multi-region population"
+        assert result.metrics.unfinished == 0
+        stats = result.fabric_stats
+        assert stats["messages"] > 0
+        assert stats["dropped"] > 0  # 1% lossy last miles
+        assert stats["mean_delay_s"] > 0.03  # transcontinental paths
+
+    def test_latency_session_enables_locality(self):
+        session = SwitchSession(small_config(n_nodes=60, topology="transcontinental",
+                                             max_time=10.0))
+        assert isinstance(session.fabric, LatencyFabric)
+        assert session.membership.locality_enabled
+
+    def test_deterministic_from_seed(self):
+        a = run_single(small_config(n_nodes=60, topology="metro", max_time=60.0))
+        b = run_single(small_config(n_nodes=60, topology="metro", max_time=60.0))
+        assert a.metrics.outcomes == b.metrics.outcomes
+        assert a.fabric_stats == b.fabric_stats
+
+    def test_latency_lengthens_fast_switch_time(self):
+        ideal = run_single(small_config(n_nodes=80))
+        latency = run_single(small_config(n_nodes=80, topology="transcontinental"))
+        assert latency.metrics.avg_switch_time > ideal.metrics.avg_switch_time
+
+    def test_explicit_fabric_override(self):
+        topology = get_topology("metro")
+        fabric = LatencyFabric(topology, np.random.default_rng(5))
+        session = SwitchSession(small_config(n_nodes=40, max_time=10.0), fabric=fabric)
+        assert session.fabric is fabric
+        assert all(
+            fabric.region_of(node_id) in topology.region_names
+            for node_id in session.peers
+        )
+
+
+class TestPairedTranscontinental:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        return run_pair(small_config(n_nodes=100, topology="transcontinental"))
+
+    def test_paired_region_assignment_identical(self, pair):
+        normal = {o.node_id: o.region for o in pair.normal.metrics.outcomes}
+        fast = {o.node_id: o.region for o in pair.fast.metrics.outcomes}
+        assert normal == fast
+
+    def test_fast_beats_normal_in_every_region(self, pair):
+        rows = region_comparison_rows(
+            pair.normal.metrics.outcomes,
+            pair.fast.metrics.outcomes,
+            horizon=pair.normal.metrics.horizon,
+        )
+        assert len(rows) == 4
+        for row in rows:
+            assert row["fast_switch_time"] < row["normal_switch_time"], row
+            assert row["reduction"] > 0
+
+    def test_per_region_stats_cover_all_peers(self, pair):
+        stats = per_region_switch_stats(
+            pair.fast.metrics.outcomes, horizon=pair.fast.metrics.horizon
+        )
+        assert sum(s.peers for s in stats) == pair.fast.metrics.n_peers
+        for s in stats:
+            assert s.p50 <= s.p90
+            assert s.mean > 0
+
+    def test_latency_widens_the_fast_switch_advantage(self):
+        # The shipped comparison (examples/latency_regions.py): at 150
+        # peers, seed 1, the transcontinental fabric widens the paired
+        # fast-vs-normal gap -- in absolute seconds and in reduction ratio.
+        ideal = run_pair(small_config(n_nodes=150, max_time=90.0))
+        latency = run_pair(
+            small_config(n_nodes=150, max_time=90.0, topology="transcontinental")
+        )
+        ideal_gap = (
+            ideal.normal.metrics.avg_switch_time - ideal.fast.metrics.avg_switch_time
+        )
+        latency_gap = (
+            latency.normal.metrics.avg_switch_time
+            - latency.fast.metrics.avg_switch_time
+        )
+        assert latency_gap > ideal_gap
+        assert latency.switch_time_reduction > ideal.switch_time_reduction
+
+    def test_fabric_stats_rows_printable(self, pair):
+        rows = fabric_stats_rows(pair.fast.fabric_stats)
+        assert {row["metric"] for row in rows} == {
+            "net messages", "net dropped", "net drop_ratio", "net mean_delay_s"
+        }
+
+
+class TestStoreIntegration:
+    def test_config_topology_round_trips(self):
+        config = small_config(n_nodes=60, topology="metro")
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_old_config_payload_defaults_to_ideal(self):
+        payload = config_to_dict(small_config(n_nodes=60))
+        del payload["topology"]  # a pre-net-layer document
+        assert config_from_dict(payload).topology == ""
+
+    def test_session_result_round_trips_with_fabric_stats(self):
+        result = run_single(small_config(n_nodes=60, topology="metro", max_time=60.0))
+        rebuilt = session_result_from_dict(session_result_to_dict(result))
+        assert rebuilt.fabric_stats == result.fabric_stats
+        assert rebuilt.metrics.outcomes == result.metrics.outcomes
+
+    def test_pair_replay_and_net_document(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = small_config(n_nodes=60, topology="metro", max_time=60.0)
+        first = run_pair(config, store=store)
+        # The topology was persisted as a net-* document...
+        topology = get_topology("metro")
+        key = net_fingerprint(topology)
+        assert store.load_net(key) == topology
+        assert any(k.startswith("net-") for k in store.keys())
+        # ...and the pair replays bit-identically from disk.
+        replayed = run_pair(config, store=store)
+        assert replayed.normal.metrics.outcomes == first.normal.metrics.outcomes
+        assert replayed.fast.fabric_stats == first.fast.fabric_stats
+
+    def test_ideal_pair_persists_no_net_document(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_pair(small_config(n_nodes=60, max_time=60.0), store=store)
+        assert not any(k.startswith("net-") for k in store.keys())

@@ -50,6 +50,39 @@ def test_run_until_stops_at_horizon():
     assert seen == [1.0, 2.0, 3.0, 4.0]
 
 
+def test_run_until_advances_clock_when_queue_drains_early():
+    # Regression: the clock must reach the horizon even when the queue
+    # empties before ``until`` (previously ``now`` only reached ``until``
+    # if a strictly-future event remained in the queue).
+    engine = SimulationEngine()
+    seen = []
+    engine.schedule(1.0, lambda: seen.append(1.0))
+    engine.run_until(5.0)
+    assert seen == [1.0]
+    assert engine.now == 5.0
+
+
+def test_run_until_on_empty_queue_advances_clock():
+    engine = SimulationEngine()
+    engine.run_until(3.0)
+    assert engine.now == 3.0
+
+
+def test_run_until_stop_simulation_does_not_advance_to_horizon():
+    from repro.sim.engine import StopSimulation
+
+    def stop():
+        raise StopSimulation("done")
+
+    engine = SimulationEngine()
+    engine.schedule(1.0, stop)
+    engine.schedule(2.0, lambda: None)
+    engine.run_until(10.0)
+    # The run ended early by request: time stays at the stopping event.
+    assert engine.now == 1.0
+    assert engine.stop_reason == "done"
+
+
 def test_stop_simulation_ends_run_and_records_reason():
     engine = SimulationEngine()
     seen = []
