@@ -12,21 +12,29 @@ from repro.experiments.config import make_session_config
 from repro.streaming.session import SwitchSession
 
 
-def _run_once(n_nodes: int):
-    config = make_session_config(n_nodes, seed=BENCH_SEED, max_time=120.0)
+import repro.core.vector  # noqa: F401  (imported up front: numpy warm-up is setup cost, not measured time)
+
+
+def _run_once(n_nodes: int, engine: str = "oracle"):
+    config = make_session_config(
+        n_nodes, seed=BENCH_SEED, max_time=120.0, engine=engine
+    )
     session = SwitchSession(config)
     result = session.run()
     return result
 
 
-def test_simulator_throughput_small_overlay(benchmark):
-    result = benchmark.pedantic(lambda: _run_once(100), rounds=1, iterations=1)
+def _throughput_case(benchmark, engine: str):
+    result = benchmark.pedantic(
+        lambda: _run_once(100, engine=engine), rounds=1, iterations=1
+    )
     peer_rounds = result.n_peers * result.n_rounds
     rate = peer_rounds / max(result.wallclock_seconds, 1e-9)
     report_rows(
         benchmark,
-        "Simulator throughput (100-node overlay)",
+        f"Simulator throughput (100-node overlay, {engine} engine)",
         [{
+            "engine": engine,
             "peers": result.n_peers,
             "rounds": result.n_rounds,
             "peer_rounds": peer_rounds,
@@ -36,6 +44,17 @@ def test_simulator_throughput_small_overlay(benchmark):
     )
     assert result.metrics.unfinished == 0
     assert rate > 100  # sanity: at least a few hundred peer-rounds per second
+    return result
+
+
+def test_simulator_throughput_small_overlay(benchmark):
+    _throughput_case(benchmark, "oracle")
+
+
+def test_simulator_throughput_small_overlay_vector(benchmark):
+    """Same workload on the array-native engine (must stay bit-identical;
+    ``tests/test_vector_equivalence.py`` enforces that contract)."""
+    _throughput_case(benchmark, "vector")
 
 
 def test_overlay_construction_cost(benchmark):

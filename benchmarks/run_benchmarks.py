@@ -16,10 +16,18 @@ documented in ``docs/architecture.md`` (section "Performance trajectory").
 Usage::
 
     python benchmarks/run_benchmarks.py [--json] [--output-dir DIR]
+        [--check] [--check-threshold FRACTION]
 
-``--json`` additionally prints the summary to stdout.  The script needs
-``pytest-benchmark`` (part of the ``[test]`` extra); without it, it exits
-with a clear message instead of a stack trace.
+``--json`` additionally prints the summary to stdout.  ``--check`` diffs
+the fresh summary against the most recent prior ``BENCH_*.json`` in the
+output directory (ordered by the ``created`` timestamp recorded *inside*
+each summary, so discovery is deterministic regardless of file mtimes)
+and exits non-zero when any shared benchmark's mean regressed by more
+than the threshold (default 20%).  When the working tree is dirty the
+sha gains a ``-dirty`` suffix, so an uncommitted run never overwrites --
+or masquerades as -- the clean record of the commit it sits on.  The
+script needs ``pytest-benchmark`` (part of the ``[test]`` extra); without
+it, it exits with a clear message instead of a stack trace.
 """
 
 from __future__ import annotations
@@ -43,8 +51,29 @@ PINNED_BENCHMARKS = (
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def working_tree_dirty(repo_root: Path) -> bool:
+    """Whether the checkout has uncommitted changes (False outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return bool(out.stdout.strip())
+    except (OSError, subprocess.CalledProcessError):
+        return False
+
+
 def git_sha(repo_root: Path) -> str:
-    """The current commit's short sha (``unknown`` outside a git checkout)."""
+    """The current commit's short sha (``unknown`` outside a git checkout).
+
+    A dirty working tree gets a ``-dirty`` suffix: the measured code is
+    not the commit's code, and the summary of an uncommitted run must
+    neither overwrite the commit's clean ``BENCH_<sha>.json`` record nor
+    be mistaken for it by ``--check`` discovery.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -53,9 +82,12 @@ def git_sha(repo_root: Path) -> str:
             text=True,
             check=True,
         )
-        return out.stdout.strip() or "unknown"
+        sha = out.stdout.strip() or "unknown"
     except (OSError, subprocess.CalledProcessError):
         return "unknown"
+    if sha != "unknown" and working_tree_dirty(repo_root):
+        sha += "-dirty"
+    return sha
 
 
 def summarise(payload: Mapping[str, Any], sha: str) -> Dict[str, Any]:
@@ -90,6 +122,73 @@ def summarise(payload: Mapping[str, Any], sha: str) -> Dict[str, Any]:
     }
 
 
+def find_previous_summary(
+    output_dir: Path, current_name: str
+) -> Optional[Dict[str, Any]]:
+    """The most recent prior ``BENCH_*.json`` summary in ``output_dir``.
+
+    "Most recent" is decided by the ``created`` timestamp recorded inside
+    each summary (ties broken by filename), never by file mtime, so the
+    choice is deterministic across checkouts and CI caches.  The file the
+    current run is about to (over)write, unreadable files and non-summary
+    JSON are all skipped.  Returns the parsed summary, or ``None``.
+    """
+    candidates: List[Any] = []
+    for path in sorted(Path(output_dir).glob("BENCH_*.json")):
+        if path.name == current_name:
+            continue
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                summary = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(summary, dict) or "benchmarks" not in summary:
+            continue
+        candidates.append((str(summary.get("created", "")), path.name, summary))
+    if not candidates:
+        return None
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    return candidates[-1][2]
+
+
+def diff_summaries(
+    previous: Mapping[str, Any],
+    current: Mapping[str, Any],
+    *,
+    threshold: float = 0.20,
+) -> List[Dict[str, Any]]:
+    """Per-benchmark mean-time change between two trajectory summaries.
+
+    Only benchmarks present in both summaries (with a positive previous
+    mean) are compared -- renamed or newly added benchmarks cannot
+    regress.  ``change`` is the signed fractional change of ``mean_s``;
+    rows with ``change > threshold`` are flagged ``regressed``.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    previous_means = {
+        row["name"]: float(row["mean_s"])
+        for row in previous.get("benchmarks", [])
+        if "name" in row and "mean_s" in row
+    }
+    rows: List[Dict[str, Any]] = []
+    for row in current.get("benchmarks", []):
+        before = previous_means.get(row.get("name"))
+        if before is None or before <= 0:
+            continue
+        change = (float(row["mean_s"]) - before) / before
+        rows.append(
+            {
+                "name": row["name"],
+                "previous_mean_s": before,
+                "mean_s": float(row["mean_s"]),
+                "change": change,
+                "regressed": change > threshold,
+            }
+        )
+    return rows
+
+
 def run_pinned_suite(repo_root: Path) -> Optional[Dict[str, Any]]:
     """Execute the pinned subset; returns the raw pytest-benchmark payload."""
     targets = [str(repo_root / "benchmarks" / name) for name in PINNED_BENCHMARKS]
@@ -120,6 +219,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--output-dir", default=str(REPO_ROOT),
                         help="directory for the BENCH_<sha>.json summary "
                              "(default: the repository root)")
+    parser.add_argument("--check", action="store_true",
+                        help="diff against the most recent prior BENCH_*.json "
+                             "and fail on mean-time regressions beyond the "
+                             "threshold")
+    parser.add_argument("--check-threshold", type=float, default=0.20,
+                        metavar="FRACTION",
+                        help="fractional mean-time regression tolerated by "
+                             "--check (default: 0.20)")
     args = parser.parse_args(argv)
 
     try:
@@ -140,12 +247,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     sha = git_sha(REPO_ROOT)
     summary = summarise(payload, sha)
     output = Path(args.output_dir) / f"BENCH_{sha}.json"
+    previous = (
+        find_previous_summary(Path(args.output_dir), output.name)
+        if args.check
+        else None
+    )
     with output.open("w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {output} ({len(summary['benchmarks'])} benchmarks)", file=sys.stderr)
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
+
+    if args.check:
+        if previous is None:
+            print(
+                "check: no prior BENCH_*.json summary found; nothing to compare",
+                file=sys.stderr,
+            )
+            return 0
+        rows = diff_summaries(previous, summary, threshold=args.check_threshold)
+        for row in rows:
+            marker = "REGRESSED" if row["regressed"] else "ok"
+            print(
+                f"check: {row['name']}: {row['previous_mean_s']:.6f}s -> "
+                f"{row['mean_s']:.6f}s ({row['change']:+.1%}) {marker}",
+                file=sys.stderr,
+            )
+        regressed = [row for row in rows if row["regressed"]]
+        if regressed:
+            print(
+                f"error: {len(regressed)} benchmark(s) regressed beyond "
+                f"{args.check_threshold:.0%} vs "
+                f"BENCH_{previous.get('git_sha', '?')}.json",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -220,15 +220,15 @@ class UniverseResult:
 # execution
 # --------------------------------------------------------------------------- #
 def _execute_channel(
-    payload: Tuple[UniversePlan, int]
+    payload: Tuple[UniversePlan, int, Optional[str]]
 ) -> Tuple[ChannelOutcome, ChannelOutcome]:
     """Worker entry point (module-level so it pickles).
 
     Receives the repetition's already-expanded plan -- planned once in the
     parent -- so workers never re-derive the zap script per channel.
     """
-    plan, channel_index = payload
-    return run_planned_channel(plan, channel_index)
+    plan, channel_index, compute_engine = payload
+    return run_planned_channel(plan, channel_index, compute_engine=compute_engine)
 
 
 class UniverseRunner:
@@ -245,13 +245,23 @@ class UniverseRunner:
         replayed, missing ones are simulated and persisted.  A replay-only
         store raises :class:`~repro.experiments.store.MissingResultError`
         instead of simulating.
+    compute_engine:
+        Simulation core for fresh repetitions (``"oracle"``/``"vector"``;
+        ``None`` keeps the session default).  Bit-identical by contract,
+        so store keys and replays are engine-agnostic.
     """
 
-    def __init__(self, workers: int = 1, store: Optional[ResultStore] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        store: Optional[ResultStore] = None,
+        compute_engine: Optional[str] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.store = store
+        self.compute_engine = compute_engine
 
     def run(
         self,
@@ -316,14 +326,16 @@ class UniverseRunner:
             # The canonical path: all channel meshes of a repetition on one
             # shared engine and clock.
             for rep_seed in seeds:
-                yield run_universe_rep(spec, rep_seed)
+                yield run_universe_rep(
+                    spec, rep_seed, compute_engine=self.compute_engine
+                )
             return
         # Parallel path: plan each repetition once, then fan its channels
         # out as per-channel tasks, reassembled in deterministic
         # (seed, channel) order.
         plans = [plan_universe(spec, rep_seed) for rep_seed in seeds]
         payloads = [
-            (plan, channel)
+            (plan, channel, self.compute_engine)
             for plan in plans
             for channel in range(spec.n_channels)
         ]
@@ -353,8 +365,9 @@ def run_universe(
     repetitions: int = 1,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    compute_engine: Optional[str] = None,
 ) -> UniverseResult:
     """Convenience wrapper: build a :class:`UniverseRunner` and run ``spec``."""
-    return UniverseRunner(workers=workers, store=store).run(
-        spec, seed=seed, repetitions=repetitions
-    )
+    return UniverseRunner(
+        workers=workers, store=store, compute_engine=compute_engine
+    ).run(spec, seed=seed, repetitions=repetitions)

@@ -86,6 +86,10 @@ _RESERVED_OVERRIDES = frozenset(
         "warmup",
         "peer_classes",
         "topology",
+        # The compute engine (oracle/vector) is bit-identical by contract
+        # and must never rotate spec fingerprints; select it via the
+        # runner/CLI ``compute_engine`` parameter instead.
+        "engine",
     }
 )
 
@@ -319,13 +323,20 @@ def plan_universe(spec: UniverseSpec, seed: int) -> UniversePlan:
 
 
 def channel_mesh_config(
-    spec: UniverseSpec, channel: Channel, channel_seed: int, algorithm: str
+    spec: UniverseSpec,
+    channel: Channel,
+    channel_seed: int,
+    algorithm: str,
+    *,
+    compute_engine: Optional[str] = None,
 ) -> SessionConfig:
     """The session configuration of one channel's mesh.
 
     The mesh holds the channel's audience plus its two sources; base churn
     is disabled because the zap plan scripts membership changes as exact
-    per-period counts.
+    per-period counts.  ``compute_engine`` picks the simulation core
+    (``"oracle"``/``"vector"``; ``None`` keeps the session default) -- not
+    to be confused with the shared :class:`SimulationEngine` clock.
     """
     overrides = spec.overrides_dict()
     overrides.update(
@@ -336,6 +347,8 @@ def channel_mesh_config(
         churn=ChurnConfig.disabled(),
         topology=spec.topology,
     )
+    if compute_engine is not None:
+        overrides["engine"] = compute_engine
     return make_session_config(
         channel.audience + 2,
         algorithm=algorithm,
@@ -350,13 +363,17 @@ def _build_channel_sessions(
     *,
     engine: Optional[SimulationEngine] = None,
     directory: Optional[Directory] = None,
+    compute_engine: Optional[str] = None,
 ) -> Dict[str, SwitchSession]:
     """Both algorithms' mesh sessions for one channel (paired on one overlay)."""
     spec = plan.spec
     channel = plan.lineup.channels[channel_index]
     channel_seed = plan.channel_seeds[channel_index]
     directory = directory if directory is not None else plan.directory
-    first = channel_mesh_config(spec, channel, channel_seed, PAIRED_ALGORITHMS[0])
+    first = channel_mesh_config(
+        spec, channel, channel_seed, PAIRED_ALGORITHMS[0],
+        compute_engine=compute_engine,
+    )
     overlay = build_session_overlay(
         first.n_nodes,
         channel_seed,
@@ -366,7 +383,9 @@ def _build_channel_sessions(
     directives = plan.zap_plan.channel_directives(channel_index)
     sessions: Dict[str, SwitchSession] = {}
     for algorithm in PAIRED_ALGORITHMS:
-        config = channel_mesh_config(spec, channel, channel_seed, algorithm)
+        config = channel_mesh_config(
+            spec, channel, channel_seed, algorithm, compute_engine=compute_engine
+        )
         sessions[algorithm] = SwitchSession(
             config,
             overlay=overlay,
@@ -493,7 +512,13 @@ class UniverseSession:
     lineup.
     """
 
-    def __init__(self, spec: UniverseSpec, seed: int = 0) -> None:
+    def __init__(
+        self,
+        spec: UniverseSpec,
+        seed: int = 0,
+        *,
+        compute_engine: Optional[str] = None,
+    ) -> None:
         self.spec = spec
         self.seed = int(seed)
         self.plan = plan_universe(spec, seed)
@@ -502,7 +527,8 @@ class UniverseSession:
         self.sessions: Dict[Tuple[int, str], SwitchSession] = {}
         for channel_index in range(self.plan.n_channels):
             built = _build_channel_sessions(
-                self.plan, channel_index, engine=self.engine, directory=self.directory
+                self.plan, channel_index, engine=self.engine,
+                directory=self.directory, compute_engine=compute_engine,
             )
             for algorithm, session in built.items():
                 self.sessions[(channel_index, algorithm)] = session
@@ -525,13 +551,18 @@ class UniverseSession:
         return _rep_result(self.plan, outcomes)
 
 
-def run_universe_rep(spec: UniverseSpec, seed: int) -> UniverseRepResult:
+def run_universe_rep(
+    spec: UniverseSpec, seed: int, *, compute_engine: Optional[str] = None
+) -> UniverseRepResult:
     """Run one repetition of ``spec`` on a shared engine (the serial path)."""
-    return UniverseSession(spec, seed).run()
+    return UniverseSession(spec, seed, compute_engine=compute_engine).run()
 
 
 def run_planned_channel(
-    plan: UniversePlan, channel_index: int
+    plan: UniversePlan,
+    channel_index: int,
+    *,
+    compute_engine: Optional[str] = None,
 ) -> Tuple[ChannelOutcome, ChannelOutcome]:
     """Run one channel of an already-expanded plan in isolation.
 
@@ -541,7 +572,9 @@ def run_planned_channel(
     plans once per repetition and ships the (small, picklable) plan to
     each worker instead of re-deriving it per channel.
     """
-    sessions = _build_channel_sessions(plan, channel_index)
+    sessions = _build_channel_sessions(
+        plan, channel_index, compute_engine=compute_engine
+    )
     results = []
     for algorithm in PAIRED_ALGORITHMS:
         session = sessions[algorithm]
@@ -552,7 +585,13 @@ def run_planned_channel(
 
 
 def run_universe_channel(
-    spec: UniverseSpec, seed: int, channel_index: int
+    spec: UniverseSpec,
+    seed: int,
+    channel_index: int,
+    *,
+    compute_engine: Optional[str] = None,
 ) -> Tuple[ChannelOutcome, ChannelOutcome]:
     """Run one channel of one repetition in isolation (plan + execute)."""
-    return run_planned_channel(plan_universe(spec, seed), channel_index)
+    return run_planned_channel(
+        plan_universe(spec, seed), channel_index, compute_engine=compute_engine
+    )

@@ -57,6 +57,11 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
 ``trace``
     Generate a synthetic clip2/DSS-style overlay trace file.
 
+``run``, ``compare``, ``workload run|compare``, ``universe run|compare``
+and ``scenario`` accept ``--engine {oracle,vector}`` to pick the
+simulation core: the per-peer object engine (the reference) or the
+NumPy array engine (faster, bit-identical -- see docs/architecture.md).
+
 The results directory may also be set via the ``REPRO_RESULTS_DIR``
 environment variable (the ``--results-dir`` flag wins).
 """
@@ -78,6 +83,7 @@ from repro.metrics.net import fabric_stats_rows, region_comparison_rows
 from repro.metrics.report import format_table
 from repro.net.library import TOPOLOGIES, get_topology, topology_names
 from repro.overlay.generator import generate_trace
+from repro.streaming.session import ENGINE_NAMES
 from repro.overlay.trace import write_trace
 from repro.channels.runner import UniverseResult, run_universe
 from repro.workloads.library import (
@@ -121,6 +127,14 @@ def _add_topology_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", choices=topology_names(), default=None,
                         help="run over this network topology's latency fabric "
                              "(default: the ideal zero-latency network)")
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--engine`` option to a sub-command."""
+    parser.add_argument("--engine", choices=sorted(ENGINE_NAMES), default=None,
+                        help="simulation core: the per-peer object engine "
+                             "('oracle') or the bit-identical NumPy array "
+                             "engine ('vector'); default: oracle")
 
 
 def _package_version() -> str:
@@ -218,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-time", type=float, default=120.0)
     run.add_argument("--json", action="store_true")
     _add_topology_argument(run)
+    _add_engine_argument(run)
 
     cmp_parser = sub.add_parser("compare", help="paired fast-vs-normal comparison")
     cmp_parser.add_argument("--n-nodes", type=int, default=200)
@@ -226,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--max-time", type=float, default=120.0)
     cmp_parser.add_argument("--json", action="store_true")
     _add_topology_argument(cmp_parser)
+    _add_engine_argument(cmp_parser)
 
     workload = sub.add_parser(
         "workload", help="list or run the time-scripted workloads"
@@ -252,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="print only the paired switch-time comparison")
         workload_run.add_argument("--json", action="store_true")
         _add_topology_argument(workload_run)
+        _add_engine_argument(workload_run)
         _add_store_arguments(workload_run)
 
     universe = sub.add_parser(
@@ -282,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="print only the per-decile zap-time comparison")
         universe_run.add_argument("--json", action="store_true")
         _add_topology_argument(universe_run)
+        _add_engine_argument(universe_run)
         _add_store_arguments(universe_run)
 
     scen = sub.add_parser("scenario", help="run a named example scenario")
@@ -296,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print only the paired switch-time comparison")
     scen.add_argument("--json", action="store_true")
     _add_topology_argument(scen)
+    _add_engine_argument(scen)
     _add_store_arguments(scen)
 
     net = sub.add_parser("net", help="inspect the network-topology library")
@@ -428,6 +447,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         dynamic=args.dynamic,
         max_time=args.max_time,
         topology=args.topology or "",
+        **({"engine": args.engine} if args.engine else {}),
     )
     result = run_single(config)
     rows = _metrics_rows(result)
@@ -447,6 +467,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         dynamic=args.dynamic,
         max_time=args.max_time,
         topology=args.topology or "",
+        **({"engine": args.engine} if args.engine else {}),
     )
     pair = run_pair(config)
     row = pair.comparison().as_dict()
@@ -588,6 +609,7 @@ def _run_workload_spec(spec: WorkloadSpec, args: argparse.Namespace) -> int:
             repetitions=args.repetitions,
             workers=args.workers,
             store=store,
+            engine=getattr(args, "engine", None),
         )
     except (MissingResultError, ValueError) as error:
         # ValueError: spec/size combinations the engine rejects (e.g. an
@@ -706,6 +728,7 @@ def _cmd_universe(args: argparse.Namespace) -> int:
             repetitions=args.repetitions,
             workers=args.workers,
             store=store,
+            compute_engine=getattr(args, "engine", None),
         )
     except (MissingResultError, ValueError) as error:
         # ValueError: lineup/population combinations the spec rejects (e.g.

@@ -138,8 +138,16 @@ def default_results_dir() -> Optional[str]:
 # configuration serialisation and fingerprints
 # --------------------------------------------------------------------------- #
 def config_to_dict(config: SessionConfig) -> Dict[str, Any]:
-    """JSON-friendly dictionary form of a :class:`SessionConfig`."""
-    return asdict(config)
+    """JSON-friendly dictionary form of a :class:`SessionConfig`.
+
+    The execution engine is stripped: like the worker count it is an
+    execution detail, not an experiment parameter -- the vector engine is
+    bit-identical to the oracle (enforced by the differential suite), so
+    documents and fingerprints must not depend on which engine ran.
+    """
+    payload = asdict(config)
+    payload.pop("engine", None)
+    return payload
 
 
 def config_from_dict(payload: Mapping[str, Any]) -> SessionConfig:

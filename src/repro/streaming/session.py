@@ -66,6 +66,7 @@ __all__ = [
     "PeriodDirective",
     "build_session_overlay",
     "ALGORITHM_FACTORIES",
+    "ENGINE_NAMES",
 ]
 
 
@@ -74,6 +75,9 @@ ALGORITHM_FACTORIES: Dict[str, Callable[[], SwitchAlgorithm]] = {
     "fast": FastSwitchAlgorithm,
     "normal": NormalSwitchAlgorithm,
 }
+
+#: Valid values of ``SessionConfig.engine`` (see :mod:`repro.core.vector`).
+ENGINE_NAMES: Tuple[str, ...] = ("oracle", "vector")
 
 
 @dataclass(frozen=True)
@@ -259,6 +263,15 @@ class SessionConfig:
         peer has switched.  The workload engine needs this so post-switch
         phases (churn bursts, congestion windows) still execute and their
         QoE is measured.
+    engine:
+        Which execution engine drives the per-period inner loop:
+        ``"oracle"`` (the reference per-peer object engine, default) or
+        ``"vector"`` (the NumPy struct-of-arrays engine in
+        :mod:`repro.core.vector`).  Both produce bit-identical results --
+        the vector engine is a pure performance substitution verified by
+        the differential suite in ``tests/test_vector_equivalence.py`` --
+        so the choice is an execution detail: it never enters result
+        fingerprints or stored documents.
     topology:
         Name of a library network topology (:mod:`repro.net.library`).
         Empty (the default) runs on the zero-latency, lossless
@@ -302,8 +315,13 @@ class SessionConfig:
     peer_classes: Tuple[PeerClass, ...] = ()
     run_full_horizon: bool = False
     topology: str = ""
+    engine: str = "oracle"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: {sorted(ENGINE_NAMES)}"
+            )
         if self.topology and self.topology not in topology_names():
             raise ValueError(
                 f"unknown topology {self.topology!r}; known: {topology_names()}"
@@ -402,6 +420,21 @@ class SwitchSession:
         topology configured, the zero-latency
         :class:`~repro.net.fabric.IdealFabric`.
     """
+
+    def __new__(cls, config: Optional[SessionConfig] = None, *args, **kwargs):
+        # Dispatch on the configured execution engine so every construction
+        # site -- runner, workloads, universe -- picks up the vector engine
+        # through the config alone.  Subclasses (the vector engine itself)
+        # bypass the dispatch.
+        if (
+            cls is SwitchSession
+            and config is not None
+            and getattr(config, "engine", "oracle") == "vector"
+        ):
+            from repro.core.vector import VectorSwitchSession
+
+            return super().__new__(VectorSwitchSession)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -734,11 +767,7 @@ class SwitchSession:
         order = list(self.peers.keys())
         self.streams.get("round-order").shuffle(order)
 
-        decisions: Dict[int, ScheduleDecision] = {}
-        for node_id in order:
-            peer = self.peers[node_id]
-            snapshots = self._pull_buffer_maps(peer)
-            decisions[node_id] = peer.decide(snapshots, now)
+        decisions = self._decide_phase(order, now)
 
         deliveries: List[Tuple[PeerNode, int]] = []
         for node_id in order:
@@ -781,6 +810,21 @@ class SwitchSession:
                     now, list(self.peers.values()), self._departed_stalls
                 )
             self._maybe_stop(now)
+
+    def _decide_phase(self, order: Sequence[int], now: float) -> Dict[int, ScheduleDecision]:
+        """Run every peer's buffer-map pull + scheduling decision for one round.
+
+        The decide phase consumes no randomness beyond the fabric's
+        control-transfer draws and never mutates neighbour state, so the
+        vector engine (:mod:`repro.core.vector`) overrides exactly this
+        method with an array-native equivalent.
+        """
+        decisions: Dict[int, ScheduleDecision] = {}
+        for node_id in order:
+            peer = self.peers[node_id]
+            snapshots = self._pull_buffer_maps(peer)
+            decisions[node_id] = peer.decide(snapshots, now)
+        return decisions
 
     def _schedule_delivery(self, node_id: int, seg_id: int, delay: float) -> None:
         """Deliver ``seg_id`` to ``node_id`` after the network delay.

@@ -306,8 +306,14 @@ def segment_config(
     session_seed: int,
     *,
     algorithm: str = "fast",
+    engine: Optional[str] = None,
 ) -> SessionConfig:
-    """The session configuration of one switch segment of ``spec``."""
+    """The session configuration of one switch segment of ``spec``.
+
+    ``engine`` selects the simulation core (``"oracle"`` or ``"vector"``);
+    ``None`` defers to a spec override or the session default.  The choice
+    never enters fingerprints -- both engines are bit-identical.
+    """
     base_churn = ChurnConfig(
         leave_fraction=spec.base_leave_fraction,
         join_fraction=spec.base_join_fraction,
@@ -324,6 +330,8 @@ def segment_config(
         run_full_horizon=True,
         peer_classes=spec.peer_classes,
     )
+    if engine is not None:
+        overrides["engine"] = engine
     return make_session_config(
         spec.n_nodes,
         algorithm=algorithm,
@@ -370,7 +378,9 @@ def _build_outcome(
     )
 
 
-def run_workload_rep(spec: WorkloadSpec, seed: int) -> WorkloadRepResult:
+def run_workload_rep(
+    spec: WorkloadSpec, seed: int, *, engine: Optional[str] = None
+) -> WorkloadRepResult:
     """Run one repetition of ``spec`` (every segment, both algorithms).
 
     The overlay is built once from ``seed`` and every session of the
@@ -382,7 +392,7 @@ def run_workload_rep(spec: WorkloadSpec, seed: int) -> WorkloadRepResult:
     session seed, so the comparison stays paired exactly as in the paper.
     """
     schedule = compile_workload(spec)
-    first_config = segment_config(spec, schedule.segments[0], seed)
+    first_config = segment_config(spec, schedule.segments[0], seed, engine=engine)
     overlay = build_session_overlay(
         spec.n_nodes,
         seed,
@@ -392,7 +402,7 @@ def run_workload_rep(spec: WorkloadSpec, seed: int) -> WorkloadRepResult:
     outcomes: Dict[str, List[SwitchOutcome]] = {alg: [] for alg in _PAIRED_ALGORITHMS}
     for segment in schedule.segments:
         session_seed = _segment_seed(seed, segment.index)
-        config = segment_config(spec, segment, session_seed)
+        config = segment_config(spec, segment, session_seed, engine=engine)
         for algorithm in _PAIRED_ALGORITHMS:
             session = SwitchSession(
                 config.with_algorithm(algorithm),
@@ -411,10 +421,12 @@ def run_workload_rep(spec: WorkloadSpec, seed: int) -> WorkloadRepResult:
     )
 
 
-def _execute_rep(payload: Tuple[Dict[str, Any], int]) -> WorkloadRepResult:
+def _execute_rep(
+    payload: Tuple[Dict[str, Any], int, Optional[str]]
+) -> WorkloadRepResult:
     """Worker entry point (module-level so it pickles)."""
-    spec_dict, seed = payload
-    return run_workload_rep(WorkloadSpec.from_dict(spec_dict), seed)
+    spec_dict, seed, engine = payload
+    return run_workload_rep(WorkloadSpec.from_dict(spec_dict), seed, engine=engine)
 
 
 class WorkloadRunner:
@@ -431,13 +443,24 @@ class WorkloadRunner:
         replayed, missing ones are simulated and persisted.  A replay-only
         store raises :class:`~repro.experiments.store.MissingResultError`
         instead of simulating.
+    engine:
+        Simulation core used for fresh repetitions (``"oracle"`` or
+        ``"vector"``; ``None`` defers to spec/session defaults).  Engines
+        are bit-identical, so the choice does not rotate store keys and
+        replays stay valid either way.
     """
 
-    def __init__(self, workers: int = 1, store: Optional[ResultStore] = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        store: Optional[ResultStore] = None,
+        engine: Optional[str] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.store = store
+        self.engine = engine
 
     def run(
         self,
@@ -501,9 +524,9 @@ class WorkloadRunner:
             return
         if self.workers == 1 or len(seeds) == 1:
             for rep_seed in seeds:
-                yield run_workload_rep(spec, rep_seed)
+                yield run_workload_rep(spec, rep_seed, engine=self.engine)
             return
-        payloads = [(spec.to_dict(), rep_seed) for rep_seed in seeds]
+        payloads = [(spec.to_dict(), rep_seed, self.engine) for rep_seed in seeds]
         with ProcessPoolExecutor(max_workers=min(self.workers, len(seeds))) as pool:
             yield from pool.map(_execute_rep, payloads)
 
@@ -515,8 +538,9 @@ def run_workload(
     repetitions: int = 1,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    engine: Optional[str] = None,
 ) -> WorkloadResult:
     """Convenience wrapper: build a :class:`WorkloadRunner` and run ``spec``."""
-    return WorkloadRunner(workers=workers, store=store).run(
+    return WorkloadRunner(workers=workers, store=store, engine=engine).run(
         spec, seed=seed, repetitions=repetitions
     )

@@ -1,17 +1,76 @@
-"""Shared pytest fixtures.
+"""Shared pytest fixtures and differential-testing helpers.
 
 The simulation-level fixtures use deliberately small overlays so the unit
 and integration test suite stays fast; the benchmark harness (under
 ``benchmarks/``) is where realistic sizes live.
+
+The module-level helpers (importable as ``from conftest import ...``, the
+same idiom the benchmarks use) are the shared core of the vector-engine
+differential suite: they run a configuration through both engines and
+normalise results/stores into comparable JSON documents.
 """
 
 from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, Tuple
 
 import numpy as np
 import pytest
 
 from repro.experiments.config import make_session_config
-from repro.streaming.session import SessionConfig
+from repro.experiments.store import session_result_to_dict
+from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
+
+#: Document fields that legitimately differ between two executions of the
+#: same simulation (wallclock timing, store-write timestamps).
+VOLATILE_DOCUMENT_KEYS = frozenset({"wallclock_seconds", "created"})
+
+
+def strip_volatile(node: Any) -> Any:
+    """Recursively drop volatile (timing) fields from a JSON-like document."""
+    if isinstance(node, dict):
+        return {
+            key: strip_volatile(value)
+            for key, value in node.items()
+            if key not in VOLATILE_DOCUMENT_KEYS
+        }
+    if isinstance(node, list):
+        return [strip_volatile(value) for value in node]
+    return node
+
+
+def normalized_run_document(result: SessionResult) -> Dict[str, Any]:
+    """A session result as the exact JSON document the store would persist,
+    minus volatile timing fields (one ``json`` round trip, so any numpy
+    scalar leaking into the result shows up as a string mismatch)."""
+    document = json.loads(json.dumps(session_result_to_dict(result), default=str))
+    return strip_volatile(document)
+
+
+def run_engine_pair(
+    config: SessionConfig,
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Run ``config`` under the oracle and the vector engine.
+
+    Returns both normalised store documents; the differential suite asserts
+    they are bit-identical.
+    """
+    oracle = SwitchSession(replace(config, engine="oracle")).run()
+    vector = SwitchSession(replace(config, engine="vector")).run()
+    return normalized_run_document(oracle), normalized_run_document(vector)
+
+
+def store_documents(root: Path) -> Dict[str, Any]:
+    """Every JSON document persisted under a result-store directory,
+    keyed by filename, with volatile fields stripped."""
+    documents: Dict[str, Any] = {}
+    for path in sorted(Path(root).rglob("*.json")):
+        with open(path, "r", encoding="utf-8") as handle:
+            documents[path.name] = strip_volatile(json.load(handle))
+    return documents
 
 
 @pytest.fixture

@@ -64,12 +64,44 @@ def test_git_sha_matches_repository():
         ["git", "rev-parse", "--short", "HEAD"],
         cwd=REPO_ROOT, capture_output=True, text=True, check=True,
     ).stdout.strip()
+    if module.working_tree_dirty(REPO_ROOT):
+        expected += "-dirty"
     assert sha == expected
 
 
 def test_git_sha_outside_repository(tmp_path):
     module = load_script()
     assert module.git_sha(tmp_path) == "unknown"
+
+
+def _init_repo(path):
+    """A throwaway git repository with one commit."""
+    env_flags = [
+        "-c", "user.name=bench", "-c", "user.email=bench@example.invalid",
+    ]
+    subprocess.run(["git", "init", "-q"], cwd=path, check=True)
+    (path / "tracked.txt").write_text("v1\n")
+    subprocess.run(["git", *env_flags, "add", "tracked.txt"], cwd=path, check=True)
+    subprocess.run(
+        ["git", *env_flags, "commit", "-q", "-m", "seed"], cwd=path, check=True
+    )
+
+
+def test_git_sha_dirty_suffix(tmp_path):
+    """A clean checkout gets the bare sha; any uncommitted change appends
+    ``-dirty`` so the summary file name cannot shadow the clean record."""
+    module = load_script()
+    _init_repo(tmp_path)
+    clean = module.git_sha(tmp_path)
+    assert clean != "unknown"
+    assert not clean.endswith("-dirty")
+
+    (tmp_path / "tracked.txt").write_text("v2\n")
+    assert module.git_sha(tmp_path) == clean + "-dirty"
+
+    subprocess.run(["git", "checkout", "-q", "--", "tracked.txt"],
+                   cwd=tmp_path, check=True)
+    assert module.git_sha(tmp_path) == clean
 
 
 def test_pinned_subset_files_exist():
@@ -84,3 +116,146 @@ def test_script_help_runs():
     )
     assert proc.returncode == 0
     assert "BENCH_<sha>.json" in proc.stdout
+    assert "--check" in proc.stdout
+
+
+# --------------------------------------------------------------------------- #
+# --check: summary diffing
+# --------------------------------------------------------------------------- #
+def _summary(module, means, sha="aaa1111", created="2026-01-01T00:00:00+00:00"):
+    payload = {
+        "machine_info": {},
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean, "stddev": 0.0,
+                                         "min": mean, "rounds": 3}}
+            for name, mean in means.items()
+        ],
+    }
+    summary = module.summarise(payload, sha)
+    summary["created"] = created
+    return summary
+
+
+def test_diff_summaries_flags_only_regressions_beyond_threshold():
+    module = load_script()
+    previous = _summary(module, {"a": 1.0, "b": 1.0, "c": 1.0})
+    current = _summary(module, {"a": 1.19, "b": 1.21, "c": 0.5}, sha="bbb2222")
+    rows = {row["name"]: row for row in
+            module.diff_summaries(previous, current, threshold=0.20)}
+    assert not rows["a"]["regressed"]          # +19% is within tolerance
+    assert rows["b"]["regressed"]              # +21% is not
+    assert not rows["c"]["regressed"]          # an improvement never fails
+    assert rows["c"]["change"] == -0.5
+
+
+def test_diff_summaries_skips_unshared_and_zero_benchmarks():
+    module = load_script()
+    previous = _summary(module, {"shared": 1.0, "renamed": 1.0, "zero": 0.0})
+    current = _summary(module, {"shared": 1.0, "fresh": 5.0, "zero": 2.0})
+    names = [row["name"] for row in module.diff_summaries(previous, current)]
+    assert names == ["shared"]
+
+
+def test_diff_summaries_rejects_negative_threshold():
+    module = load_script()
+    try:
+        module.diff_summaries({}, {}, threshold=-0.1)
+    except ValueError as err:
+        assert "threshold" in str(err)
+    else:
+        raise AssertionError("negative threshold accepted")
+
+
+def _write_summary(directory, summary):
+    path = directory / f"BENCH_{summary['git_sha']}.json"
+    path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_find_previous_summary_prefers_latest_created(tmp_path):
+    """Discovery orders by the created timestamp *inside* the summaries
+    (not mtime) and skips the file the current run is about to write."""
+    module = load_script()
+    older = _summary(module, {"a": 1.0}, sha="old1111",
+                     created="2026-01-01T00:00:00+00:00")
+    newer = _summary(module, {"a": 2.0}, sha="new2222",
+                     created="2026-02-01T00:00:00+00:00")
+    current = _summary(module, {"a": 3.0}, sha="cur3333",
+                       created="2026-03-01T00:00:00+00:00")
+    # write newest first so mtime order contradicts created order
+    _write_summary(tmp_path, newer)
+    _write_summary(tmp_path, older)
+    _write_summary(tmp_path, current)
+
+    found = module.find_previous_summary(tmp_path, "BENCH_cur3333.json")
+    assert found["git_sha"] == "new2222"
+
+
+def test_find_previous_summary_ignores_corrupt_files(tmp_path):
+    module = load_script()
+    (tmp_path / "BENCH_bad.json").write_text("{not json")
+    (tmp_path / "BENCH_list.json").write_text("[1, 2]")
+    assert module.find_previous_summary(tmp_path, "BENCH_x.json") is None
+    good = _summary(module, {"a": 1.0}, sha="ok")
+    _write_summary(tmp_path, good)
+    assert module.find_previous_summary(tmp_path, "BENCH_x.json")["git_sha"] == "ok"
+
+
+def test_main_check_gates_on_regression(tmp_path, monkeypatch, capsys):
+    """End-to-end --check flow with the suite runner stubbed out: first run
+    writes a baseline, a faster run passes, a >20% slower run fails."""
+    module = load_script()
+    means = {"benchmarks/bench_x.py::test_hot": 1.0}
+    monkeypatch.setattr(
+        module, "run_pinned_suite",
+        lambda root: {
+            "machine_info": {},
+            "benchmarks": [
+                {"fullname": name, "stats": {"mean": mean, "stddev": 0.0,
+                                             "min": mean, "rounds": 3}}
+                for name, mean in means.items()
+            ],
+        },
+    )
+    monkeypatch.setattr(module, "git_sha", lambda root: "seed111")
+    assert module.main(["--check", "--output-dir", str(tmp_path)]) == 0
+    assert "nothing to compare" in capsys.readouterr().err
+
+    monkeypatch.setattr(module, "git_sha", lambda root: "next222")
+    means["benchmarks/bench_x.py::test_hot"] = 0.9
+    assert module.main(["--check", "--output-dir", str(tmp_path)]) == 0
+    assert "ok" in capsys.readouterr().err
+
+    monkeypatch.setattr(module, "git_sha", lambda root: "slow333")
+    means["benchmarks/bench_x.py::test_hot"] = 1.5
+    assert module.main(["--check", "--output-dir", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSED" in err
+    # the regressed summary is still written (the record keeps the evidence)
+    assert (tmp_path / "BENCH_slow333.json").exists()
+
+
+def test_main_check_threshold_override(tmp_path, monkeypatch):
+    module = load_script()
+    mean = {"value": 1.0}
+    monkeypatch.setattr(
+        module, "run_pinned_suite",
+        lambda root: {
+            "machine_info": {},
+            "benchmarks": [{"fullname": "b::t",
+                            "stats": {"mean": mean["value"], "stddev": 0.0,
+                                      "min": mean["value"], "rounds": 3}}],
+        },
+    )
+    monkeypatch.setattr(module, "git_sha", lambda root: "base444")
+    assert module.main(["--output-dir", str(tmp_path)]) == 0
+    mean["value"] = 1.4  # +40% vs base444: passes at 50%, fails at the default
+    monkeypatch.setattr(module, "git_sha", lambda root: "loose555")
+    assert module.main(
+        ["--check", "--check-threshold", "0.5", "--output-dir", str(tmp_path)]
+    ) == 0
+    # drop the passing run's summary so the default-threshold run still
+    # compares against the 1.0s baseline
+    (tmp_path / "BENCH_loose555.json").unlink()
+    monkeypatch.setattr(module, "git_sha", lambda root: "tight666")
+    assert module.main(["--check", "--output-dir", str(tmp_path)]) == 1

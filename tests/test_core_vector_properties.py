@@ -1,0 +1,400 @@
+"""Property-based differential tests for the vector-engine kernels.
+
+The vector engine promises *bit-identity* with the scalar oracle.  The
+session-level differential suite (``test_vector_equivalence.py``) checks
+that promise end to end; this module attacks the individual kernels with
+hypothesis-generated inputs far outside what any shipped scenario reaches:
+
+* :class:`MirroredBuffer` / :class:`SegmentArrays` -- the bitmask
+  buffer-map mirror must track a plain :class:`SegmentBuffer` under
+  arbitrary insert/discard/evict sequences;
+* :func:`vectorized_priorities` -- must match ``priority_for_view``
+  (``core/priority.py``) float for float under every policy;
+* :func:`_greedy_masks` -- the bitmask supplier-allocation pass must
+  reproduce ``greedy_supplier_assignment`` (``core/scheduler.py``),
+  including queue carry-over between passes, which is how the engine
+  replicates the two-pass budget allocation built on ``core/allocation.py``.
+
+All equality assertions are exact (``==`` on floats): any re-association
+of floating-point work in the kernels is a bug, not noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import NeighbourView, Stream
+from repro.core.priority import PriorityPolicy, priority_for_view
+from repro.core.scheduler import CandidateSegment, greedy_supplier_assignment
+from repro.core.vector import (
+    MirroredBuffer,
+    SegmentArrays,
+    _greedy_masks,
+    _Survivors,
+    vectorized_priorities,
+)
+from repro.streaming.buffer import SegmentBuffer
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+#: (is_insert, seg_id) op sequences over a small id space so collisions,
+#: re-inserts and discard-of-absent all happen often.
+buffer_ops = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=40)),
+    max_size=80,
+)
+
+capacities = st.one_of(st.none(), st.integers(min_value=1, max_value=12))
+
+rates_st = st.floats(
+    min_value=0.0, max_value=25.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def priority_cases(draw):
+    """Random supplier matrix + candidate set for the priority kernel."""
+    k = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=9))
+    rates = draw(st.lists(rates_st, min_size=k, max_size=k))
+    caps = draw(st.lists(st.integers(1, 60), min_size=k, max_size=k))
+    candidates = sorted(
+        draw(
+            st.lists(
+                st.integers(0, 400), min_size=m, max_size=m, unique=True
+            )
+        )
+    )
+    playback_id = draw(st.integers(0, 400))
+    play_rate = draw(
+        st.floats(min_value=0.25, max_value=16.0, allow_nan=False)
+    )
+    # every candidate keeps at least one supplier: the engine never asks for
+    # the priority of a segment nobody advertises.
+    columns = [
+        draw(st.sets(st.integers(0, k - 1), min_size=1, max_size=k))
+        for _ in range(m)
+    ]
+    positions = draw(
+        st.lists(
+            st.lists(st.integers(0, 120), min_size=m, max_size=m),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    return k, m, rates, caps, candidates, playback_id, play_rate, columns, positions
+
+
+@st.composite
+def greedy_cases(draw):
+    """Random candidate/supplier sets for the greedy allocation pass."""
+    k = draw(st.integers(min_value=1, max_value=6))
+    supplier_ids = draw(
+        st.lists(st.integers(0, 60), min_size=k, max_size=k, unique=True)
+    )
+    rates = draw(st.lists(rates_st, min_size=k, max_size=k))
+    m = draw(st.integers(min_value=0, max_value=10))
+    seg_ids = sorted(
+        draw(st.lists(st.integers(0, 300), min_size=m, max_size=m, unique=True))
+    )
+    priorities = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    masks = [draw(st.integers(0, (1 << k) - 1)) for _ in range(m)]
+    period = draw(st.floats(min_value=0.05, max_value=4.0, allow_nan=False))
+    queued = draw(
+        st.dictionaries(
+            st.sampled_from(supplier_ids),
+            st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+            max_size=k,
+        )
+    )
+    initial_queue = queued if draw(st.booleans()) else None
+    return supplier_ids, rates, seg_ids, priorities, masks, period, initial_queue
+
+
+def _make_survivors(
+    supplier_ids: List[int], rates: List[float]
+) -> _Survivors:
+    arrays = SegmentArrays(len(supplier_ids), 8)
+    buffers = [
+        MirroredBuffer(600, arrays, row) for row in range(len(supplier_ids))
+    ]
+    return _Survivors(supplier_ids, rates, buffers, 0)
+
+
+def _scalar_candidates(
+    order: List[int],
+    seg_ids: List[int],
+    priorities: List[float],
+    masks: List[int],
+    supplier_ids: List[int],
+    rates: List[float],
+) -> List[CandidateSegment]:
+    views = [
+        NeighbourView(
+            node_id=supplier_ids[slot],
+            send_rate=rates[slot],
+            available=frozenset(),
+        )
+        for slot in range(len(supplier_ids))
+    ]
+    return [
+        CandidateSegment(
+            seg_id=seg_ids[index],
+            priority=priorities[index],
+            suppliers=tuple(
+                views[slot]
+                for slot in range(len(views))
+                if masks[index] >> slot & 1
+            ),
+        )
+        for index in order
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# bitmask buffer maps
+# --------------------------------------------------------------------------- #
+@settings(max_examples=300, deadline=None)
+@given(ops=buffer_ops, capacity=capacities)
+def test_mirrored_buffer_tracks_scalar_buffer(ops, capacity):
+    """After flush, the matrix row equals the scalar buffer exactly."""
+    scalar = SegmentBuffer(capacity=capacity)
+    arrays = SegmentArrays(1, 8)
+    mirrored = MirroredBuffer(capacity, arrays, 0)
+
+    for is_insert, seg_id in ops:
+        if is_insert:
+            assert mirrored.insert(seg_id) == scalar.insert(seg_id)
+        else:
+            assert mirrored.discard(seg_id) == scalar.discard(seg_id)
+
+    arrays.flush()
+    assert not arrays.pending
+    held = set(np.flatnonzero(arrays.present[0]).tolist())
+    assert held == set(scalar.as_set()) == set(mirrored.as_set())
+    assert len(mirrored) == len(scalar)
+    assert mirrored.evicted_total == scalar.evicted_total
+    for seg_id in held:
+        assert arrays.insert_index[0, seg_id] == scalar._insert_index[seg_id]
+    # flush is idempotent: a second flush must change nothing.
+    before = arrays.present.copy()
+    arrays.flush()
+    assert np.array_equal(arrays.present, before)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    seg_ids=st.lists(st.integers(0, 200), max_size=40),
+    capacity=capacities,
+)
+def test_fifo_positions_recoverable_from_insert_index(seg_ids, capacity):
+    """The rarity positions the engine derives from the insertion-counter
+    matrix (``counter - insert_index + 1``) match ``position_from_tail``
+    for every held segment under pure-FIFO histories (no discards)."""
+    arrays = SegmentArrays(1, 8)
+    mirrored = MirroredBuffer(capacity, arrays, 0)
+    for seg_id in seg_ids:
+        mirrored.insert(seg_id)
+    arrays.flush()
+    newest_index = mirrored._counter - 1
+    for seg_id in np.flatnonzero(arrays.present[0]).tolist():
+        derived = int(newest_index - arrays.insert_index[0, seg_id]) + 1
+        assert derived == mirrored.position_from_tail(seg_id)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    seg_ids=st.lists(st.integers(0, 200), max_size=40),
+    extra_ops=buffer_ops,
+    capacity=capacities,
+)
+def test_adopted_buffer_mirrors_existing_state(seg_ids, extra_ops, capacity):
+    """``MirroredBuffer.adopt`` fills the row from a live buffer and keeps
+    mirroring subsequent mutations."""
+    original = SegmentBuffer(capacity=capacity)
+    reference = SegmentBuffer(capacity=capacity)
+    for seg_id in seg_ids:
+        original.insert(seg_id)
+        reference.insert(seg_id)
+
+    arrays = SegmentArrays(1, 8)
+    mirrored = MirroredBuffer.adopt(original, arrays, 0)
+    held = set(np.flatnonzero(arrays.present[0]).tolist())
+    assert held == set(reference.as_set())
+
+    for is_insert, seg_id in extra_ops:
+        if is_insert:
+            mirrored.insert(seg_id)
+            reference.insert(seg_id)
+        else:
+            mirrored.discard(seg_id)
+            reference.discard(seg_id)
+    arrays.flush()
+    held = set(np.flatnonzero(arrays.present[0]).tolist())
+    assert held == set(reference.as_set())
+    for seg_id in held:
+        assert arrays.insert_index[0, seg_id] == reference._insert_index[seg_id]
+
+
+# --------------------------------------------------------------------------- #
+# vectorized priorities vs core/priority.py
+# --------------------------------------------------------------------------- #
+@settings(max_examples=300, deadline=None)
+@given(case=priority_cases(), policy=st.sampled_from(list(PriorityPolicy)))
+def test_vectorized_priorities_match_priority_for_view(case, policy):
+    (
+        k,
+        m,
+        rates,
+        caps,
+        candidates,
+        playback_id,
+        play_rate,
+        columns,
+        positions,
+    ) = case
+
+    supply = np.zeros((k, m), dtype=bool)
+    for i, column in enumerate(columns):
+        for slot in column:
+            supply[slot, i] = True
+    positions_matrix = np.array(positions, dtype=np.int64)
+
+    with np.errstate(divide="ignore", over="ignore"):
+        vectorized = vectorized_priorities(
+            np.array(candidates, dtype=np.int64),
+            supply,
+            np.array(rates, dtype=np.float64)[:, None],
+            positions_matrix,
+            np.array(caps, dtype=np.int64)[:, None],
+            playback_id,
+            play_rate,
+            policy,
+        )
+
+    views = [
+        NeighbourView(
+            node_id=1000 + slot,
+            send_rate=rates[slot],
+            available=frozenset(
+                candidates[i] for i in range(m) if supply[slot, i]
+            ),
+            positions={
+                candidates[i]: positions[slot][i]
+                for i in range(m)
+                if supply[slot, i]
+            },
+            buffer_capacity=caps[slot],
+        )
+        for slot in range(k)
+    ]
+    for i, seg_id in enumerate(candidates):
+        suppliers = tuple(views[slot] for slot in range(k) if supply[slot, i])
+        scalar = priority_for_view(
+            seg_id, suppliers, playback_id, play_rate, policy=policy
+        )
+        assert float(vectorized[i]) == scalar, (
+            f"policy={policy} seg={seg_id}: vector={vectorized[i]!r} "
+            f"scalar={scalar!r}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# bitmask greedy allocation vs core/scheduler.py
+# --------------------------------------------------------------------------- #
+@settings(max_examples=300, deadline=None)
+@given(case=greedy_cases())
+def test_greedy_masks_matches_greedy_supplier_assignment(case):
+    supplier_ids, rates, seg_ids, priorities, masks, period, initial_queue = case
+    survivors = _make_survivors(supplier_ids, rates)
+    order = np.argsort(-np.array(priorities), kind="stable").tolist()
+
+    assigned_old, assigned_new, queue = _greedy_masks(
+        order,
+        seg_ids,
+        priorities,
+        masks,
+        len(seg_ids),
+        survivors,
+        period,
+        dict(initial_queue) if initial_queue else None,
+    )
+    assert assigned_new == []
+
+    scalar = greedy_supplier_assignment(
+        _scalar_candidates(order, seg_ids, priorities, masks, supplier_ids, rates),
+        period,
+        initial_queue=initial_queue,
+    )
+
+    assert [
+        (item.seg_id, item.priority, item.supplier_id, item.expected_receive_time)
+        for item in scalar.assigned
+    ] == [(seg, pri, supplier, when) for seg, pri, supplier, when, _ in assigned_old]
+    assert all(stream is Stream.OLD for *_, stream in assigned_old)
+    assert queue == scalar.supplier_queue
+    assigned_ids = {seg for seg, *_ in assigned_old}
+    assert scalar.unassigned == [
+        seg_ids[index] for index in order if seg_ids[index] not in assigned_ids
+    ]
+
+
+@settings(max_examples=200, deadline=None)
+@given(case=greedy_cases(), data=st.data())
+def test_greedy_masks_stream_split_tags(case, data):
+    """Candidates at order positions >= n_old come back tagged NEW, in the
+    same relative processing order, with the same combined assignment."""
+    supplier_ids, rates, seg_ids, priorities, masks, period, initial_queue = case
+    n_old = data.draw(st.integers(0, len(seg_ids)))
+    survivors = _make_survivors(supplier_ids, rates)
+    order = np.argsort(-np.array(priorities), kind="stable").tolist()
+
+    assigned_old, assigned_new, queue = _greedy_masks(
+        order,
+        seg_ids,
+        priorities,
+        masks,
+        n_old,
+        survivors,
+        period,
+        dict(initial_queue) if initial_queue else None,
+    )
+    assert all(stream is Stream.OLD for *_, stream in assigned_old)
+    assert all(stream is Stream.NEW for *_, stream in assigned_new)
+    old_ids = {seg_ids[index] for index in range(n_old)}
+    assert all(seg in old_ids for seg, *_ in assigned_old)
+    assert all(seg not in old_ids for seg, *_ in assigned_new)
+
+    scalar = greedy_supplier_assignment(
+        _scalar_candidates(order, seg_ids, priorities, masks, supplier_ids, rates),
+        period,
+        initial_queue=initial_queue,
+    )
+    assert queue == scalar.supplier_queue
+    # the split lists interleave back into the scalar processing order
+    merged = {
+        seg: (pri, supplier, when)
+        for seg, pri, supplier, when, _ in assigned_old + assigned_new
+    }
+    assert merged == {
+        item.seg_id: (item.priority, item.supplier_id, item.expected_receive_time)
+        for item in scalar.assigned
+    }
+    scalar_order = [item.seg_id for item in scalar.assigned]
+    assert [seg for seg, *_ in assigned_old] == [
+        seg for seg in scalar_order if seg in old_ids
+    ]
+    assert [seg for seg, *_ in assigned_new] == [
+        seg for seg in scalar_order if seg not in old_ids
+    ]

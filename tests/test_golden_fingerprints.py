@@ -1,0 +1,126 @@
+"""Golden-fingerprint regression pins for the persistent result store.
+
+Two families of pins, both computed with a frozen ``version=`` override so
+they are independent of the package version string:
+
+* **Key goldens** -- the store fingerprints (``pair-*``, ``net-*``,
+  ``workload-*``, ``universe-*``) of one representative document each.
+  These rotate only when the spec/config serialisation, the schema
+  version or :func:`stable_hash` itself changes.  Silent key rotation is
+  a real bug class: it orphans every previously persisted result.
+
+* **Content goldens** -- ``stable_hash`` of fully normalised result
+  documents (volatile timing fields stripped).  These pin the simulator's
+  *behaviour* bit for bit: any change to scheduling, priorities, RNG
+  consumption order or document layout shows up here first.
+
+If a change rotates one of these on purpose (schema bump, intentional
+behaviour change), update the literal and say why in the commit message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import normalized_run_document, strip_volatile
+
+from repro.channels.runner import universe_fingerprint
+from repro.experiments.config import make_session_config
+from repro.experiments.store import (
+    SCHEMA_VERSION,
+    net_fingerprint,
+    pair_fingerprint,
+    stable_hash,
+)
+from repro.net.library import get_topology
+from repro.streaming.session import SwitchSession
+from repro.workloads.library import get_universe, get_workload
+from repro.workloads.runner import (
+    rep_to_dict,
+    run_workload_rep,
+    workload_fingerprint,
+)
+
+#: Frozen code-version stand-in: goldens must not rotate on version bumps.
+GOLDEN_VERSION = "golden-v1"
+
+
+def _golden_config(**overrides):
+    base = dict(seed=7, max_time=80.0, old_stream_segments=400, lookahead=120)
+    base.update(overrides)
+    return make_session_config(40, **base)
+
+
+def test_schema_version_is_pinned():
+    """Key goldens below assume schema 1; bumping the schema must be a
+    deliberate act that also refreshes every golden."""
+    assert SCHEMA_VERSION == 1
+
+
+# --------------------------------------------------------------------------- #
+# store-key goldens
+# --------------------------------------------------------------------------- #
+def test_pair_fingerprint_golden():
+    assert (
+        pair_fingerprint(_golden_config(), version=GOLDEN_VERSION)
+        == "pair-76bbae35bff1eab46ac57023"
+    )
+
+
+def test_pair_fingerprint_ignores_algorithm_and_engine():
+    """The pair key covers both algorithms and must not depend on the
+    execution engine (engines are bit-identical by contract)."""
+    base = pair_fingerprint(_golden_config(), version=GOLDEN_VERSION)
+    for override in (
+        {"algorithm": "normal"},
+        {"engine": "vector"},
+    ):
+        assert pair_fingerprint(_golden_config(**override), version=GOLDEN_VERSION) == base
+
+
+def test_net_fingerprint_golden():
+    assert (
+        net_fingerprint(get_topology("metro"), version=GOLDEN_VERSION)
+        == "net-c1f669f51aee33f59ff10450"
+    )
+
+
+def test_workload_fingerprint_golden():
+    spec = get_workload("paper-baseline").scaled_to(30)
+    assert (
+        workload_fingerprint(spec, 3, version=GOLDEN_VERSION)
+        == "workload-49d9c05eeb65eafe55a852fc"
+    )
+
+
+def test_universe_fingerprint_golden():
+    spec = get_universe("lineup-mini").scaled_to(n_channels=3, n_viewers=60)
+    assert (
+        universe_fingerprint(spec, 5, version=GOLDEN_VERSION)
+        == "universe-6f60949bdced2271ad303c16"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# document-content goldens (simulation behaviour pinned bit for bit)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "algorithm,expected",
+    [
+        ("fast", "d8029d02f407d60bb31207cb"),
+        ("normal", "cf480a4281437f11d87c1a09"),
+    ],
+)
+@pytest.mark.parametrize("engine", ["oracle", "vector"])
+def test_run_document_content_golden(algorithm, expected, engine):
+    """The normalised run document of the reference session is pinned --
+    under both engines, which by contract hash identically."""
+    config = _golden_config(algorithm=algorithm, engine=engine)
+    document = normalized_run_document(SwitchSession(config).run())
+    assert stable_hash(document) == expected
+
+
+def test_workload_document_content_golden():
+    spec = get_workload("paper-baseline").scaled_to(30)
+    document = strip_volatile(rep_to_dict(run_workload_rep(spec, 3)))
+    assert stable_hash(document) == "552569faa595b110607eb560"

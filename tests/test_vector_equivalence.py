@@ -1,0 +1,184 @@
+"""Differential suite: the vector engine must be bit-identical to the oracle.
+
+Every test replays the same deterministic scenario through both engines and
+asserts that the *store documents* -- the exact JSON the persistent result
+store writes -- are identical field for field.  This is the contract that
+makes ``engine="vector"`` a pure performance substitution: any divergence,
+however small (a reordered request, a float computed in a different
+association order, a numpy scalar leaking into a document), fails loudly
+here.
+
+Coverage follows the acceptance criteria: paired switch sessions (the
+run/compare library path), every shipped workload script, a lineup
+universe, and the metro/transcontinental latency topologies, plus churn
+and full-horizon recording variants.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from conftest import normalized_run_document, run_engine_pair, store_documents
+
+from repro.churn.model import ChurnConfig
+from repro.experiments.config import make_session_config
+from repro.experiments.runner import run_pair
+from repro.experiments.store import ResultStore
+from repro.streaming.session import ENGINE_NAMES, SwitchSession
+from repro.workloads.library import (
+    get_universe,
+    get_workload,
+    universe_names,
+    workload_names,
+)
+from repro.workloads.runner import rep_to_dict, run_workload, run_workload_rep
+from repro.channels.runner import (
+    rep_to_dict as universe_rep_to_dict,
+    run_universe,
+)
+from repro.channels.universe import run_universe_rep
+
+
+def _tiny(**overrides):
+    base = dict(seed=7, max_time=80.0, old_stream_segments=400, lookahead=120)
+    base.update(overrides)
+    n_nodes = base.pop("n_nodes", 40)
+    return make_session_config(n_nodes, **base)
+
+
+# --------------------------------------------------------------------------- #
+# single sessions and the paired-switch library
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("algorithm", ["fast", "normal"])
+def test_single_session_documents_identical(algorithm):
+    oracle, vector = run_engine_pair(_tiny(algorithm=algorithm))
+    assert oracle == vector
+
+
+def test_paired_switch_library_documents_identical(tmp_path):
+    """run_pair (the run/compare path) persists identical pair documents."""
+    documents = {}
+    for engine in ENGINE_NAMES:
+        store = ResultStore(tmp_path / engine)
+        run_pair(_tiny(engine=engine), store=store)
+        documents[engine] = store_documents(tmp_path / engine)
+    assert documents["oracle"] == documents["vector"]
+    assert documents["oracle"]  # the store actually persisted something
+
+
+def test_churn_session_documents_identical():
+    oracle, vector = run_engine_pair(
+        _tiny(
+            seed=11,
+            churn=ChurnConfig(
+                enabled=True, leave_fraction=0.05, join_fraction=0.05
+            ),
+        )
+    )
+    assert oracle == vector
+
+
+def test_full_horizon_round_recording_identical():
+    oracle, vector = run_engine_pair(
+        _tiny(seed=19, max_time=90.0, record_rounds=True, run_full_horizon=True)
+    )
+    assert oracle == vector
+
+
+def test_simulated_warmup_documents_identical():
+    oracle, vector = run_engine_pair(_tiny(seed=5, warmup="simulated"))
+    assert oracle == vector
+
+
+# --------------------------------------------------------------------------- #
+# latency topologies
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("topology", ["metro", "transcontinental"])
+@pytest.mark.parametrize("algorithm", ["fast", "normal"])
+def test_topology_documents_identical(topology, algorithm):
+    oracle, vector = run_engine_pair(
+        _tiny(seed=13, algorithm=algorithm, topology=topology)
+    )
+    assert oracle == vector
+
+
+# --------------------------------------------------------------------------- #
+# every shipped workload script
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", workload_names())
+def test_workload_rep_identical(name):
+    spec = get_workload(name).scaled_to(30)
+    oracle = rep_to_dict(run_workload_rep(spec, 3, engine="oracle"))
+    vector = rep_to_dict(run_workload_rep(spec, 3, engine="vector"))
+    assert json.dumps(oracle, sort_keys=True) == json.dumps(
+        vector, sort_keys=True
+    )
+
+
+def test_workload_store_documents_identical(tmp_path):
+    """The store-backed runner persists identical workload documents."""
+    spec = get_workload(workload_names()[0]).scaled_to(30)
+    documents = {}
+    for engine in ENGINE_NAMES:
+        store = ResultStore(tmp_path / engine)
+        run_workload(spec, seed=3, store=store, engine=engine)
+        documents[engine] = store_documents(tmp_path / engine)
+    assert documents["oracle"] == documents["vector"]
+    assert documents["oracle"]
+
+
+# --------------------------------------------------------------------------- #
+# a lineup universe (shared-engine serial path and store-backed runner)
+# --------------------------------------------------------------------------- #
+def test_lineup_universe_rep_identical():
+    spec = get_universe("lineup-mini").scaled_to(n_channels=3, n_viewers=60)
+    oracle = universe_rep_to_dict(run_universe_rep(spec, 5))
+    vector = universe_rep_to_dict(
+        run_universe_rep(spec, 5, compute_engine="vector")
+    )
+    assert json.dumps(oracle, sort_keys=True) == json.dumps(
+        vector, sort_keys=True
+    )
+
+
+def test_universe_store_documents_identical(tmp_path):
+    spec = get_universe("lineup-mini").scaled_to(n_channels=3, n_viewers=60)
+    documents = {}
+    for engine in ENGINE_NAMES:
+        store = ResultStore(tmp_path / engine)
+        run_universe(spec, seed=5, store=store, compute_engine=engine)
+        documents[engine] = store_documents(tmp_path / engine)
+    assert documents["oracle"] == documents["vector"]
+    assert documents["oracle"]
+
+
+def test_universe_names_include_lineups():
+    """The universes the suite exercises exist in the library."""
+    assert "lineup-mini" in universe_names()
+
+
+# --------------------------------------------------------------------------- #
+# engine selection surface
+# --------------------------------------------------------------------------- #
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        _tiny(engine="gpu")
+
+
+def test_vector_session_class_dispatch():
+    from repro.core.vector import VectorSwitchSession
+
+    session = SwitchSession(_tiny(engine="vector"))
+    assert type(session) is VectorSwitchSession
+    oracle_session = SwitchSession(_tiny())
+    assert type(oracle_session) is SwitchSession
+
+
+def test_documents_exercise_round_payloads():
+    """record_rounds payloads flow through normalisation (sanity of helper)."""
+    config = _tiny(seed=19, max_time=90.0, record_rounds=True)
+    result = SwitchSession(config).run()
+    document = normalized_run_document(result)
+    assert "wallclock_seconds" not in document
