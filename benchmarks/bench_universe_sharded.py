@@ -1,0 +1,79 @@
+"""Sharded universe runtime vs. the serial path: wall time and peak RSS.
+
+Runs the same small universe twice -- once serially on the canonical
+shared-engine path, once through the sharded runtime (``repro.dist``:
+shard plan + long-lived worker pool + streaming sketches) -- asserts the
+two are bit-identical at repetition level, and records both wall times
+plus the parent/worker peak RSS into the benchmark's ``extra_info`` so
+``BENCH_<sha>.json`` tracks the sharded runtime's overhead trajectory.
+
+At the reduced benchmark scale the sharded path is *not* expected to win
+(process start-up dominates a few seconds of simulation); what the
+trajectory guards is that the orchestration overhead stays bounded.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+from repro.channels.runner import rep_to_dict, run_universe
+from repro.channels.universe import UniverseSpec
+
+#: Small enough to finish in seconds, big enough that shards hold several
+#: channel meshes each.
+SHARDED_BENCH_SPEC = UniverseSpec(
+    name="bench-sharded",
+    description="sharded-runtime benchmark universe",
+    n_channels=6,
+    n_viewers=90,
+    zipf_exponent=1.0,
+    min_audience=10,
+    surfer_fraction=0.4,
+    surfer_zap_rate=0.15,
+    loyal_zap_rate=0.01,
+    duration=20.0,
+)
+
+BENCH_REPETITIONS = 2
+BENCH_SHARDS = 4
+BENCH_WORKERS = 2
+
+
+def _peak_rss_mb(who: int) -> float:
+    """Peak RSS of this process (or its children) in MiB (Linux: KiB units)."""
+    return resource.getrusage(who).ru_maxrss / 1024.0
+
+
+def test_universe_sharded_vs_serial(benchmark):
+    serial_start = time.perf_counter()
+    serial = run_universe(SHARDED_BENCH_SPEC, seed=0, repetitions=BENCH_REPETITIONS)
+    serial_s = time.perf_counter() - serial_start
+
+    sharded = benchmark.pedantic(
+        lambda: run_universe(
+            SHARDED_BENCH_SPEC,
+            seed=0,
+            repetitions=BENCH_REPETITIONS,
+            shards=BENCH_SHARDS,
+            workers=BENCH_WORKERS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    # The acceptance property perf must never trade away: bit-identity.
+    assert [rep_to_dict(rep) for rep in sharded.reps] == [
+        rep_to_dict(rep) for rep in serial.reps
+    ]
+
+    benchmark.extra_info["serial_s"] = round(serial_s, 6)
+    benchmark.extra_info["shards"] = BENCH_SHARDS
+    benchmark.extra_info["workers"] = BENCH_WORKERS
+    benchmark.extra_info["repetitions"] = BENCH_REPETITIONS
+    benchmark.extra_info["peak_rss_self_mb"] = round(
+        _peak_rss_mb(resource.RUSAGE_SELF), 2
+    )
+    benchmark.extra_info["peak_rss_children_mb"] = round(
+        _peak_rss_mb(resource.RUSAGE_CHILDREN), 2
+    )

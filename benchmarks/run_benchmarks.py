@@ -7,6 +7,7 @@ This script seeds the repository's performance trajectory: it runs a
 * ``bench_simulator_throughput.py`` -- end-to-end simulator throughput,
 * ``bench_core_scheduler.py``       -- the switch-scheduling hot path,
 * ``bench_fig07_switch_time_static.py`` -- one full figure regeneration,
+* ``bench_universe_sharded.py``     -- sharded runtime vs. serial path,
 
 -- and writes a compact ``BENCH_<git-sha>.json`` summary at the repository
 root, so successive commits leave a comparable perf record behind (CI
@@ -46,6 +47,7 @@ PINNED_BENCHMARKS = (
     "bench_simulator_throughput.py",
     "bench_core_scheduler.py",
     "bench_fig07_switch_time_static.py",
+    "bench_universe_sharded.py",
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -94,22 +96,31 @@ def summarise(payload: Mapping[str, Any], sha: str) -> Dict[str, Any]:
     """Reduce a pytest-benchmark JSON payload to the trajectory summary.
 
     The summary keeps one row per benchmark -- name, mean/stddev/min
-    seconds and the round count -- plus the commit sha, the machine info
-    pytest-benchmark recorded and a UTC timestamp.  All fields are plain
-    JSON scalars so summaries diff cleanly across commits.
+    seconds and the round count, plus any *scalar* ``extra_info`` the
+    benchmark attached (e.g. the sharded benchmark's serial wall time and
+    peak RSS; tables and other nested structures are dropped) -- plus the
+    commit sha, the machine info pytest-benchmark recorded and a UTC
+    timestamp.  All fields are plain JSON scalars so summaries diff
+    cleanly across commits.
     """
     rows: List[Dict[str, Any]] = []
     for bench in payload.get("benchmarks", []):
         stats = bench.get("stats", {})
-        rows.append(
-            {
-                "name": bench.get("fullname", bench.get("name", "?")),
-                "mean_s": float(stats.get("mean", 0.0)),
-                "stddev_s": float(stats.get("stddev", 0.0)),
-                "min_s": float(stats.get("min", 0.0)),
-                "rounds": int(stats.get("rounds", 0)),
-            }
-        )
+        row: Dict[str, Any] = {
+            "name": bench.get("fullname", bench.get("name", "?")),
+            "mean_s": float(stats.get("mean", 0.0)),
+            "stddev_s": float(stats.get("stddev", 0.0)),
+            "min_s": float(stats.get("min", 0.0)),
+            "rounds": int(stats.get("rounds", 0)),
+        }
+        extra = {
+            key: value
+            for key, value in (bench.get("extra_info") or {}).items()
+            if isinstance(value, (str, int, float, bool)) or value is None
+        }
+        if extra:
+            row["extra"] = extra
+        rows.append(row)
     rows.sort(key=lambda row: row["name"])
     machine = payload.get("machine_info", {})
     return {

@@ -1,0 +1,79 @@
+"""Benchmark-trajectory analysis over ``BENCH_<sha>.json`` summaries.
+
+Every commit's benchmark run leaves a ``BENCH_<git-sha>.json`` summary at
+the repository root (written by ``benchmarks/run_benchmarks.py``; format
+documented in ``docs/architecture.md``).  This module turns that pile of
+per-commit snapshots into a *trajectory*: one row per (commit, benchmark)
+with the fractional mean-time change against the previous commit that ran
+the same benchmark -- what ``repro bench trend`` prints.
+
+Summaries are ordered by the ``created`` timestamp embedded in each file
+(ties broken by filename), never by file mtime, matching the discovery
+rule of ``run_benchmarks.py --check`` so the trend and the regression
+gate always agree on what "previous" means.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["load_bench_summaries", "bench_trend_rows"]
+
+
+def load_bench_summaries(bench_dir: "str | Path") -> List[Dict[str, Any]]:
+    """All parsable ``BENCH_*.json`` summaries, oldest first.
+
+    Ordered by each summary's embedded ``created`` timestamp (ties broken
+    by filename).  Unreadable files and JSON without a ``benchmarks`` list
+    are skipped -- the directory may hold unrelated files.
+    """
+    candidates: List[Any] = []
+    for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                summary = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(summary, dict) or not isinstance(summary.get("benchmarks"), list):
+            continue
+        summary = dict(summary)
+        summary["file"] = path.name
+        candidates.append((str(summary.get("created", "")), path.name, summary))
+    candidates.sort(key=lambda item: (item[0], item[1]))
+    return [summary for _, _, summary in candidates]
+
+
+def bench_trend_rows(summaries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One trajectory row per (summary, benchmark), oldest summary first.
+
+    ``change`` is the signed fractional mean-time change against the most
+    recent *earlier* summary that ran the same benchmark (``None`` for a
+    benchmark's first appearance, or when the earlier mean was zero) --
+    so a benchmark added mid-history baselines at its introduction, and
+    commits that skipped a benchmark do not break its chain.
+    """
+    previous_mean: Dict[str, float] = {}
+    rows: List[Dict[str, Any]] = []
+    for summary in summaries:
+        sha = str(summary.get("git_sha", "?"))
+        created = str(summary.get("created", ""))
+        for bench in summary["benchmarks"]:
+            name = str(bench.get("name", "?"))
+            mean = float(bench.get("mean_s", 0.0))
+            before: Optional[float] = previous_mean.get(name)
+            change: Optional[float] = None
+            if before is not None and before > 0:
+                change = (mean - before) / before
+            rows.append(
+                {
+                    "git_sha": sha,
+                    "created": created,
+                    "benchmark": name,
+                    "mean_s": mean,
+                    "change": change,
+                }
+            )
+            previous_mean[name] = mean
+    return rows

@@ -39,7 +39,7 @@ from repro.channels.universe import (
 )
 from repro.experiments.store import (
     SCHEMA_VERSION,
-    ResultStore,
+    BaseResultStore,
     code_version,
     persist_net_document,
     replay_or_execute,
@@ -249,19 +249,47 @@ class UniverseRunner:
         Simulation core for fresh repetitions (``"oracle"``/``"vector"``;
         ``None`` keeps the session default).  Bit-identical by contract,
         so store keys and replays are engine-agnostic.
+    shards:
+        ``None`` keeps the classic paths above.  An integer routes fresh
+        repetitions through the sharded runtime (:mod:`repro.dist`): the
+        run's ``repetitions x channels`` units are partitioned into that
+        many shards, executed on a long-lived crash-tolerant worker pool,
+        checkpoint-journaled against the store, and reduced into streaming
+        aggregates (exposed as :attr:`last_aggregates`).  Still
+        bit-identical to the serial path at store-document level.
+    max_retries / fault_hook / after_shard:
+        Sharded-path knobs, forwarded to
+        :class:`~repro.dist.runner.ShardedExecutor` (bounded retry,
+        fault injection, post-shard callback).  Ignored when ``shards``
+        is ``None``.
     """
 
     def __init__(
         self,
         workers: int = 1,
-        store: Optional[ResultStore] = None,
+        store: Optional[BaseResultStore] = None,
         compute_engine: Optional[str] = None,
+        shards: Optional[int] = None,
+        max_retries: int = 1,
+        fault_hook: Optional[Any] = None,
+        after_shard: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if shards is not None and shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.workers = int(workers)
         self.store = store
         self.compute_engine = compute_engine
+        self.shards = None if shards is None else int(shards)
+        self.max_retries = int(max_retries)
+        self.fault_hook = fault_hook
+        self.after_shard = after_shard
+        #: Merged per-algorithm streaming aggregates of the last sharded
+        #: run (``None`` on the classic paths or before any run).
+        self.last_aggregates: Optional[Dict[str, Any]] = None
+        #: Journal shards replayed by the last sharded run.
+        self.journal_replayed: int = 0
 
     def run(
         self,
@@ -299,15 +327,48 @@ class UniverseRunner:
                 document["net_key"] = net_key_memo[0]
             self.store.save_universe(key, document)
 
+        if self.shards is not None:
+            # Sharded runtime: the plan spans ALL repetition seeds (never
+            # just the pending subset) so shard ids -- and the checkpoint
+            # journal keyed off the plan fingerprint -- stay stable no
+            # matter how many repetitions already persisted.
+            from repro.dist import ShardedExecutor, ShardPlan
+
+            shard_plan = ShardPlan.build(spec, rep_seeds, self.shards)
+            journal_root = None
+            if self.store is not None and not self.store.replay_only:
+                journal_root = self.store.root / "journal"
+            executor = ShardedExecutor(
+                shard_plan,
+                workers=self.workers,
+                compute_engine=self.compute_engine,
+                journal_root=journal_root,
+                max_retries=self.max_retries,
+                fault_hook=self.fault_hook,
+                after_shard=self.after_shard,
+            )
+            execute = lambda pending: executor.execute(  # noqa: E731
+                [rep_seeds[i] for i in pending]
+            )
+        else:
+            executor = None
+            execute = lambda pending: self._execute(  # noqa: E731
+                spec, [rep_seeds[i] for i in pending]
+            )
+
         reps, replayed = replay_or_execute(
             self.store,
             keys,
             load=_load,
-            execute=lambda pending: self._execute(
-                spec, [rep_seeds[i] for i in pending]
-            ),
+            execute=execute,
             save=_save,
         )
+        if executor is not None:
+            # Populated just before the executor yields its last result,
+            # so it is final by the time replay_or_execute returns (and
+            # stays None when every repetition replayed from the store).
+            self.last_aggregates = executor.aggregates
+            self.journal_replayed = executor.journal_replayed
         return UniverseResult(
             spec=spec,
             seed=int(seed),
@@ -364,10 +425,11 @@ def run_universe(
     seed: int = 0,
     repetitions: int = 1,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[BaseResultStore] = None,
     compute_engine: Optional[str] = None,
+    shards: Optional[int] = None,
 ) -> UniverseResult:
     """Convenience wrapper: build a :class:`UniverseRunner` and run ``spec``."""
     return UniverseRunner(
-        workers=workers, store=store, compute_engine=compute_engine
+        workers=workers, store=store, compute_engine=compute_engine, shards=shards
     ).run(spec, seed=seed, repetitions=repetitions)

@@ -65,6 +65,7 @@ __all__ = [
     "channel_mesh_config",
     "run_universe_rep",
     "run_planned_channel",
+    "run_planned_channel_detailed",
     "run_universe_channel",
 ]
 
@@ -572,16 +573,44 @@ def run_planned_channel(
     plans once per repetition and ships the (small, picklable) plan to
     each worker instead of re-deriving it per channel.
     """
+    outcomes, _ = run_planned_channel_detailed(
+        plan, channel_index, compute_engine=compute_engine
+    )
+    return outcomes
+
+
+def run_planned_channel_detailed(
+    plan: UniversePlan,
+    channel_index: int,
+    *,
+    compute_engine: Optional[str] = None,
+) -> Tuple[
+    Tuple[ChannelOutcome, ChannelOutcome], Tuple[List[float], List[float]]
+]:
+    """One planned channel's paired outcomes *plus* the raw zap samples.
+
+    Returns ``((normal, fast), (normal_values, fast_values))`` where the
+    value lists are the per-peer zap-time samples the outcomes' statistics
+    were computed from (:func:`~repro.metrics.universe.zap_time_values`).
+    The sharded runtime (:mod:`repro.dist`) folds those samples into
+    mergeable per-shard sketches instead of shipping them upstream, so the
+    parent's memory stays O(shard).
+    """
+    from repro.metrics.universe import zap_time_values
+
     sessions = _build_channel_sessions(
         plan, channel_index, compute_engine=compute_engine
     )
-    results = []
+    outcomes: List[ChannelOutcome] = []
+    values: List[List[float]] = []
     for algorithm in PAIRED_ALGORITHMS:
-        session = sessions[algorithm]
-        results.append(
-            _channel_outcome(plan, channel_index, algorithm, session.run())
+        result = sessions[algorithm].run()
+        outcomes.append(_channel_outcome(plan, channel_index, algorithm, result))
+        samples, _ = zap_time_values(
+            result.metrics.outcomes, horizon=result.metrics.horizon
         )
-    return results[0], results[1]
+        values.append(samples)
+    return (outcomes[0], outcomes[1]), (values[0], values[1])
 
 
 def run_universe_channel(

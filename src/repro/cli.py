@@ -17,8 +17,12 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
     the persistent result store (``--results-dir PATH``), and print one row
     per overlay size.
 
-``store ls`` / ``store clear``
-    Inspect or empty a results directory.
+``store ls`` / ``store clear`` / ``store migrate``
+    Inspect (``ls`` takes ``--kind``/``--limit`` filters), empty, or
+    losslessly migrate a results directory between backends.  Every
+    store-backed command accepts ``--store-backend {json,sqlite}``: one
+    JSON file per document (the default) or a single ``store.sqlite``
+    database in the same directory.
 
 ``run``
     Run a single simulation (choose algorithm, size, seed, churn) and print
@@ -40,6 +44,16 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
     fast-vs-normal switch, store-backed, ``--workers`` fans channels out
     bit-identically), or print only the per-popularity-decile zap-time
     comparison.  ``--channels`` / ``--viewers`` rescale the lineup.
+    ``--shards N`` routes the run through the sharded runtime
+    (:mod:`repro.dist`): a long-lived crash-tolerant worker pool with
+    streaming aggregation and a checkpoint journal, so an interrupted run
+    resumes without recomputing finished shards -- still bit-identical to
+    the serial path.
+
+``bench trend``
+    Print the repository's performance trajectory: one row per
+    (commit, benchmark) across all ``BENCH_<sha>.json`` summaries,
+    with the mean-time change against each benchmark's previous run.
 
 ``scenario NAME``
     Run one of the named example scenarios -- thin wrappers over workload
@@ -71,13 +85,21 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.experiments.config import make_session_config, sweep_sizes
 from repro.experiments.figures import FIGURE_GENERATORS, generate_figure
 from repro.experiments.runner import run_pair, run_single
 from repro.experiments.scenarios import SCENARIOS
-from repro.experiments.store import MissingResultError, ResultStore, default_results_dir
+from repro.experiments.store import (
+    STORE_BACKENDS,
+    BaseResultStore,
+    MissingResultError,
+    default_results_dir,
+    migrate_store,
+    open_store,
+)
 from repro.experiments.sweeps import run_size_sweep
 from repro.metrics.net import fabric_stats_rows, region_comparison_rows
 from repro.metrics.report import format_table
@@ -115,11 +137,20 @@ def _positive_int(value: str) -> int:
     return number
 
 
+#: Document kinds ``store ls --kind`` accepts; ``run`` is the
+#: user-facing alias of the on-disk ``pair`` kind.
+_STORE_KINDS = ("run", "pair", "workload", "universe", "net", "sweep")
+
+
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the shared persistent-store options to a sub-command."""
     parser.add_argument("--results-dir", default=None,
                         help="persistent result store directory "
                              "(default: $REPRO_RESULTS_DIR if set)")
+    parser.add_argument("--store-backend", choices=STORE_BACKENDS, default="json",
+                        help="result-store backend: one JSON file per document "
+                             "('json', the default) or a single store.sqlite "
+                             "database inside the results directory ('sqlite')")
 
 
 def _add_topology_argument(parser: argparse.ArgumentParser) -> None:
@@ -150,8 +181,8 @@ def _package_version() -> str:
 
 
 def _resolve_store(args: argparse.Namespace, *, replay_only: bool = False,
-                   required: bool = False) -> Optional[ResultStore]:
-    """Build the :class:`ResultStore` selected by ``--results-dir``/env."""
+                   required: bool = False) -> Optional[BaseResultStore]:
+    """Build the store selected by ``--results-dir``/env and ``--store-backend``."""
     path = args.results_dir if args.results_dir else default_results_dir()
     if path is None:
         if required:
@@ -159,7 +190,8 @@ def _resolve_store(args: argparse.Namespace, *, replay_only: bool = False,
                 "error: no results directory; pass --results-dir or set REPRO_RESULTS_DIR"
             )
         return None
-    return ResultStore(path, replay_only=replay_only)
+    backend = getattr(args, "store_backend", None) or "json"
+    return open_store(path, backend=backend, replay_only=replay_only)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,13 +248,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true")
     _add_store_arguments(sweep)
 
-    store = sub.add_parser("store", help="inspect or empty the persistent result store")
+    store = sub.add_parser("store", help="inspect, empty or migrate the persistent result store")
     store_sub = store.add_subparsers(dest="store_command", required=True)
     store_ls = store_sub.add_parser("ls", help="list stored results")
     store_ls.add_argument("--json", action="store_true")
+    store_ls.add_argument("--limit", type=_positive_int, default=None, metavar="N",
+                          help="show only the newest N entries (by creation time)")
+    store_ls.add_argument("--kind", choices=sorted(_STORE_KINDS), default=None,
+                          help="show only entries of this document kind "
+                               "('run' is an alias for 'pair')")
     _add_store_arguments(store_ls)
     store_clear = store_sub.add_parser("clear", help="delete every stored result")
     _add_store_arguments(store_clear)
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="copy every document into another backend (lossless, "
+             "envelope and keys preserved)",
+    )
+    store_migrate.add_argument("--to", required=True, choices=STORE_BACKENDS,
+                               dest="to_backend",
+                               help="destination backend")
+    store_migrate.add_argument("--dest-dir", default=None,
+                               help="destination results directory "
+                                    "(default: the source directory itself)")
+    _add_store_arguments(store_migrate)
 
     run = sub.add_parser("run", help="run a single simulation")
     run.add_argument("--algorithm", choices=["fast", "normal"], default="fast")
@@ -293,6 +342,12 @@ def build_parser() -> argparse.ArgumentParser:
         universe_run.add_argument("--workers", type=_positive_int, default=1,
                                   help="worker processes (per-channel fan-out); "
                                        "bit-identical to --workers 1")
+        universe_run.add_argument("--shards", type=_positive_int, default=None,
+                                  help="run through the sharded runtime: partition "
+                                       "the repetitions x channels units into this "
+                                       "many shards on a long-lived worker pool "
+                                       "with checkpoint/resume; bit-identical to "
+                                       "the serial path")
         universe_run.add_argument("--from-store", action="store_true",
                                   help="replay from the result store only; never simulate")
         universe_run.add_argument("--compare", action="store_true",
@@ -330,6 +385,17 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--n-nodes", type=int, default=1000)
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--mean-degree", type=float, default=2.0)
+
+    bench = sub.add_parser("bench", help="inspect the benchmark trajectory")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_trend = bench_sub.add_parser(
+        "trend",
+        help="print the perf trajectory across all BENCH_<sha>.json summaries",
+    )
+    bench_trend.add_argument("--bench-dir", default=".",
+                             help="directory holding the BENCH_*.json summaries "
+                                  "(default: the current directory)")
+    bench_trend.add_argument("--json", action="store_true")
     return parser
 
 
@@ -426,13 +492,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_store(args: argparse.Namespace) -> int:
     store = _resolve_store(args, required=True)
     if args.store_command == "ls":
-        entries = store.entries()
+        kind = args.kind
+        if kind == "run":
+            kind = "pair"
+        entries = store.entries(kind=kind, limit=args.limit)
         if getattr(args, "json", False):
             print(json.dumps([entry.as_row() for entry in entries], indent=2))
         elif not entries:
             print(f"(store at {store.root} is empty)")
         else:
             print(format_table([entry.as_row() for entry in entries]))
+    elif args.store_command == "migrate":
+        dest_dir = args.dest_dir if args.dest_dir else store.root
+        dest = open_store(dest_dir, backend=args.to_backend)
+        if dest.backend == store.backend and Path(dest.root) == Path(store.root):
+            print("error: source and destination are the same store; "
+                  "pass --to with a different backend or --dest-dir",
+                  file=sys.stderr)
+            return 1
+        migrated = migrate_store(store, dest)
+        print(f"migrated {migrated} document(s) from {store.backend}:{store.root} "
+              f"to {dest.backend}:{dest.root}")
     else:  # clear
         removed = store.clear()
         print(f"removed {removed} stored result(s) from {store.root}")
@@ -729,6 +809,7 @@ def _cmd_universe(args: argparse.Namespace) -> int:
             workers=args.workers,
             store=store,
             compute_engine=getattr(args, "engine", None),
+            shards=args.shards,
         )
     except (MissingResultError, ValueError) as error:
         # ValueError: lineup/population combinations the spec rejects (e.g.
@@ -750,6 +831,35 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return _run_workload_spec(scenario.spec(), args)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.bench import bench_trend_rows, load_bench_summaries
+
+    summaries = load_bench_summaries(args.bench_dir)
+    rows = bench_trend_rows(summaries)
+    if args.json:
+        print(json.dumps({
+            "bench_dir": str(args.bench_dir),
+            "summaries": [s["file"] for s in summaries],
+            "rows": rows,
+        }, indent=2))
+        return 0
+    if not rows:
+        print(f"(no BENCH_*.json summaries under {args.bench_dir})")
+        return 0
+    table = [
+        {
+            "git_sha": row["git_sha"],
+            "created": row["created"][:19],
+            "benchmark": row["benchmark"].rsplit("::", 1)[-1],
+            "mean_s": f"{row['mean_s']:.6f}",
+            "change": "-" if row["change"] is None else f"{row['change']:+.1%}",
+        }
+        for row in rows
+    ]
+    print(format_table(table))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     records = generate_trace(args.n_nodes, seed=args.seed, mean_degree=args.mean_degree)
     write_trace(records, args.path,
@@ -769,6 +879,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "net": _cmd_net,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

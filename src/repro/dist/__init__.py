@@ -1,0 +1,41 @@
+"""The sharded execution runtime for universes and sweeps.
+
+``repro.dist`` scales the multi-channel universe past what a single
+process -- or a single uninterrupted run -- can hold:
+
+* :mod:`repro.dist.plan` -- :class:`~repro.dist.plan.ShardPlan`, the
+  deterministic partition of a run's ``repetitions x channels`` work units
+  into shards;
+* :mod:`repro.dist.pool` -- :class:`~repro.dist.pool.WorkerPool`, a
+  long-lived process pool that reuses workers across shards, tracks
+  per-shard heartbeats, retries crashed shards a bounded number of times
+  and names the offending shard/channel when it gives up;
+* :mod:`repro.dist.journal` -- the write-ahead checkpoint journal that
+  lets an interrupted ``repro universe run`` resume without recomputing
+  finished shards, bit-identically to an uninterrupted run;
+* :mod:`repro.dist.runner` -- the shard executor gluing the three
+  together underneath :class:`~repro.channels.runner.UniverseRunner`
+  (``repro universe run --shards N --workers W``).
+
+Results are **bit-identical** (at store-document level) to the serial
+path for any shard/worker combination, under both compute engines -- the
+property the dist test suite and the CI ``dist`` smoke job pin down.
+"""
+
+from repro.dist.journal import ShardJournal
+from repro.dist.plan import Shard, ShardPlan, ShardUnit
+from repro.dist.pool import ShardExecutionError, ShardFailure, WorkerPool
+from repro.dist.runner import ShardAggregates, ShardedExecutor, ShardResult
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "ShardUnit",
+    "ShardJournal",
+    "ShardExecutionError",
+    "ShardFailure",
+    "WorkerPool",
+    "ShardAggregates",
+    "ShardedExecutor",
+    "ShardResult",
+]

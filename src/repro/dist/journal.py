@@ -1,0 +1,121 @@
+"""Write-ahead checkpoint journal for sharded universe runs.
+
+The sharded runner (:mod:`repro.dist.runner`) persists each finished
+shard's results into a journal *before* folding them into the run, so an
+interrupted ``repro universe run`` resumes by replaying journaled shards
+and re-simulating only the rest -- bit-identically to an uninterrupted
+run, because shard payloads round-trip exactly through JSON (floats
+survive via repr) and the shard partition itself is deterministic
+(:mod:`repro.dist.plan`).
+
+Layout, under ``<store results dir>/journal/``::
+
+    <run_key>/
+        manifest.json     # the plan fingerprint + context, written first
+        shard-<id>.json   # one record per completed shard, written atomically
+
+``run_key`` is :meth:`repro.dist.plan.ShardPlan.fingerprint` -- any change
+to the spec, the seeds, the shard count, the schema or the code version
+produces a different key, so a stale journal is simply never matched (and
+:meth:`ShardJournal.open` wipes a directory whose manifest disagrees,
+which can only happen on a fingerprint collision or manual tampering).
+Every write is atomic (temp file + ``os.replace``): a crash mid-write
+leaves either the previous state or the new one, never a torn record.
+The journal is discarded once the run completes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["ShardJournal"]
+
+_MANIFEST = "manifest.json"
+
+
+def _write_atomic(path: Path, payload: Mapping[str, Any]) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class ShardJournal:
+    """Per-run shard checkpoint directory (see module docstring)."""
+
+    def __init__(self, directory: Path, manifest: Dict[str, Any]) -> None:
+        self.directory = Path(directory)
+        self.manifest = manifest
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def open(
+        journal_root: Path, run_key: str, manifest: Mapping[str, Any]
+    ) -> "ShardJournal":
+        """Open (or create) the journal for one run.
+
+        A pre-existing directory whose manifest does not match ``manifest``
+        exactly is wiped -- its records were written by a different plan
+        and must not seed this run.
+        """
+        directory = Path(journal_root) / run_key
+        expected = dict(manifest)
+        expected["run_key"] = run_key
+        manifest_path = directory / _MANIFEST
+        if directory.exists():
+            stale = True
+            if manifest_path.exists():
+                try:
+                    stale = json.loads(manifest_path.read_text(encoding="utf-8")) != expected
+                except (json.JSONDecodeError, OSError):
+                    stale = True
+            if stale:
+                shutil.rmtree(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        if not manifest_path.exists():
+            _write_atomic(manifest_path, expected)
+        return ShardJournal(directory, expected)
+
+    # ------------------------------------------------------------------ #
+    def _shard_path(self, shard_id: int) -> Path:
+        return self.directory / f"shard-{int(shard_id):05d}.json"
+
+    def record(self, shard_id: int, payload: Mapping[str, Any]) -> None:
+        """Checkpoint one finished shard (atomic; overwrites are idempotent)."""
+        _write_atomic(self._shard_path(shard_id), {"shard_id": int(shard_id), **payload})
+
+    def completed(self) -> Dict[int, Dict[str, Any]]:
+        """All journaled shard payloads, keyed by shard id.
+
+        Torn or unparsable records (crash mid-``os.replace`` is impossible,
+        but defence-in-depth costs nothing) are skipped: the runner simply
+        re-simulates those shards.
+        """
+        out: Dict[int, Dict[str, Any]] = {}
+        for path in sorted(self.directory.glob("shard-*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                continue
+            out[int(payload["shard_id"])] = payload
+        return out
+
+    def discard(self) -> None:
+        """Remove the journal (the run completed; records are now redundant)."""
+        if self.directory.exists():
+            shutil.rmtree(self.directory, ignore_errors=True)
+        # Drop the shared journal root too once the last run's journal goes.
+        parent = self.directory.parent
+        try:
+            if parent.exists() and not any(parent.iterdir()):
+                parent.rmdir()
+        except OSError:
+            pass
+
+    @staticmethod
+    def exists(journal_root: Path, run_key: str) -> bool:
+        """Whether a journal directory for ``run_key`` is present."""
+        return (Path(journal_root) / run_key / _MANIFEST).exists()

@@ -1,0 +1,304 @@
+"""A long-lived, crash-tolerant process pool for shard execution.
+
+Unlike the one-task-per-channel ``ProcessPoolExecutor`` fan-out of
+:class:`~repro.channels.runner.UniverseRunner`, a :class:`WorkerPool`
+keeps ``W`` worker processes alive for the whole run and feeds them shards
+from a parent-side queue: workers amortise interpreter/numpy start-up over
+many shards, and the parent always knows exactly which shard each worker
+is executing (tasks are assigned to a specific worker, never pulled from a
+shared queue), which is what makes crash accounting exact.
+
+Reliability model
+-----------------
+* **Per-shard heartbeat** -- workers post a heartbeat message before every
+  work unit; :meth:`WorkerPool.last_heartbeat` exposes the latest label
+  (e.g. ``rep12/ch3``) and timestamp per shard, and the failure summary
+  names it when a shard dies mid-unit.
+* **Bounded retry** -- a shard whose worker raised or whose process died
+  is re-queued up to ``max_retries`` times (on a respawned worker when the
+  process is gone).  Duplicate results from a retried shard are dropped.
+* **Failure summary** -- when retries are exhausted the pool raises
+  :class:`ShardExecutionError` carrying one :class:`ShardFailure` per
+  attempt, each naming the shard, the last heartbeat (the offending
+  channel) and the error.
+
+Fault injection
+---------------
+``fault_hook`` is called *inside the worker process* as
+``fault_hook(worker_id, shard_id)`` immediately before a shard executes.
+The test suite injects crashes (``os._exit``) and exceptions through it;
+production runs leave it ``None``.  The hook must be picklable
+(module-level function).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["ShardFailure", "ShardExecutionError", "WorkerPool"]
+
+#: Seconds the parent blocks on the result queue before checking liveness.
+_POLL_INTERVAL: float = 0.2
+
+#: A task function: ``task_fn(payload, heartbeat)`` where ``heartbeat`` is
+#: a ``Callable[[str], None]`` the task should invoke per work unit.
+TaskFn = Callable[[Any, Callable[[str], None]], Any]
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard attempt (part of the failure summary)."""
+
+    shard_id: int
+    attempt: int
+    worker_id: int
+    error: str
+    last_heartbeat: str
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        where = f" at {self.last_heartbeat}" if self.last_heartbeat else ""
+        return (
+            f"shard {self.shard_id} attempt {self.attempt} on worker "
+            f"{self.worker_id}{where}: {self.error}"
+        )
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard exhausted its retries; carries the full failure summary."""
+
+    def __init__(self, shard_id: int, failures: List[ShardFailure]) -> None:
+        self.shard_id = shard_id
+        self.failures = list(failures)
+        lines = "\n  ".join(failure.describe() for failure in failures)
+        super().__init__(
+            f"shard {shard_id} failed after {len(failures)} attempt(s):\n  {lines}"
+        )
+
+
+def _worker_main(
+    worker_id: int,
+    task_fn: TaskFn,
+    fault_hook: Optional[Callable[[int, int], None]],
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+) -> None:
+    """Worker loop: execute assigned shards until the ``None`` sentinel."""
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        shard_id, payload = task
+
+        def heartbeat(label: str, _shard_id: int = shard_id) -> None:
+            result_queue.put(("heartbeat", worker_id, _shard_id, str(label), time.time()))
+
+        heartbeat("start")
+        try:
+            if fault_hook is not None:
+                fault_hook(worker_id, shard_id)
+            result = task_fn(payload, heartbeat)
+        except BaseException:  # noqa: BLE001 - forwarded to the parent verbatim
+            result_queue.put(("error", worker_id, shard_id, traceback.format_exc()))
+            continue
+        result_queue.put(("done", worker_id, shard_id, result))
+
+
+class _Worker:
+    """Parent-side handle of one worker process (its own task queue)."""
+
+    def __init__(
+        self,
+        context: Any,
+        worker_id: int,
+        task_fn: TaskFn,
+        fault_hook: Optional[Callable[[int, int], None]],
+        result_queue: "multiprocessing.Queue",
+    ) -> None:
+        self.worker_id = worker_id
+        self.task_queue: "multiprocessing.Queue" = context.Queue()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(worker_id, task_fn, fault_hook, self.task_queue, result_queue),
+            daemon=True,
+        )
+        self.process.start()
+        self.assigned: Optional[int] = None  # shard id in flight, if any
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        """Best-effort graceful stop, then terminate."""
+        try:
+            self.task_queue.put_nowait(None)
+        except Exception:
+            pass
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+
+
+class WorkerPool:
+    """Execute shards on long-lived worker processes with bounded retry.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (capped at the task count per run).
+    max_retries:
+        How many times a failed shard is retried before the pool gives up
+        (``0`` fails fast on the first error).
+    fault_hook:
+        Optional picklable ``(worker_id, shard_id)`` callable executed in
+        the worker before each shard -- the fault-injection seam used by
+        the crash/retry tests.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        max_retries: int = 1,
+        fault_hook: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.workers = int(workers)
+        self.max_retries = int(max_retries)
+        self.fault_hook = fault_hook
+        self._heartbeats: Dict[int, Tuple[str, float]] = {}
+        self.failures: List[ShardFailure] = []
+
+    # ------------------------------------------------------------------ #
+    def last_heartbeat(self, shard_id: int) -> Optional[Tuple[str, float]]:
+        """The latest ``(label, unix_time)`` heartbeat of one shard."""
+        return self._heartbeats.get(shard_id)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, task_fn: TaskFn, tasks: Mapping[int, Any]
+    ) -> Iterator[Tuple[int, Any]]:
+        """Execute every task, yielding ``(shard_id, result)`` on completion.
+
+        Results arrive in completion order (callers needing determinism
+        re-order by shard id).  Raises :class:`ShardExecutionError` when a
+        shard exhausts its retries; always tears the workers down.
+        """
+        if not tasks:
+            return
+        context = multiprocessing.get_context()
+        result_queue: "multiprocessing.Queue" = context.Queue()
+        pending: List[Tuple[int, Any]] = [(int(k), v) for k, v in tasks.items()]
+        attempts: Dict[int, int] = {shard_id: 0 for shard_id, _ in pending}
+        shard_failures: Dict[int, List[ShardFailure]] = {}
+        done: set = set()
+        payloads: Dict[int, Any] = dict(pending)
+        fleet: List[_Worker] = []
+        next_worker_id = 0
+
+        def spawn() -> _Worker:
+            nonlocal next_worker_id
+            worker = _Worker(
+                context, next_worker_id, task_fn, self.fault_hook, result_queue
+            )
+            next_worker_id += 1
+            fleet.append(worker)
+            return worker
+
+        def record_failure(worker: _Worker, shard_id: int, error: str) -> ShardFailure:
+            label, _ = self._heartbeats.get(shard_id, ("", 0.0))
+            attempts[shard_id] += 1
+            failure = ShardFailure(
+                shard_id=shard_id,
+                attempt=attempts[shard_id],
+                worker_id=worker.worker_id,
+                error=error,
+                last_heartbeat=label,
+            )
+            shard_failures.setdefault(shard_id, []).append(failure)
+            self.failures.append(failure)
+            return failure
+
+        def retry_or_raise(shard_id: int) -> None:
+            if attempts[shard_id] > self.max_retries:
+                raise ShardExecutionError(shard_id, shard_failures[shard_id])
+            pending.append((shard_id, payloads[shard_id]))
+
+        try:
+            for _ in range(min(self.workers, len(pending))):
+                spawn()
+            while len(done) < len(tasks):
+                # Hand pending shards to idle live workers.
+                for worker in fleet:
+                    if not pending:
+                        break
+                    if worker.assigned is None and worker.alive():
+                        shard_id, payload = pending.pop(0)
+                        worker.assigned = shard_id
+                        worker.task_queue.put((shard_id, payload))
+                try:
+                    message = result_queue.get(timeout=_POLL_INTERVAL)
+                except queue_module.Empty:
+                    # No progress: check for crashed workers.
+                    for index, worker in enumerate(list(fleet)):
+                        if worker.alive():
+                            continue
+                        fleet.remove(worker)
+                        shard_id = worker.assigned
+                        if shard_id is not None and shard_id not in done:
+                            record_failure(
+                                worker, shard_id, "worker process died"
+                            )
+                            retry_or_raise(shard_id)
+                        if pending or any(w.assigned is not None for w in fleet):
+                            spawn()
+                    continue
+                kind, worker_id, shard_id = message[0], message[1], message[2]
+                worker = next(
+                    (w for w in fleet if w.worker_id == worker_id), None
+                )
+                if kind == "heartbeat":
+                    self._heartbeats[shard_id] = (message[3], message[4])
+                    continue
+                if worker is not None and worker.assigned == shard_id:
+                    worker.assigned = None
+                if kind == "done":
+                    if shard_id in done:
+                        continue  # duplicate from a retried shard
+                    done.add(shard_id)
+                    yield shard_id, message[3]
+                elif kind == "error":
+                    if shard_id in done:
+                        continue
+                    record_failure(
+                        worker if worker is not None else _DeadWorkerStub(worker_id),
+                        shard_id,
+                        message[3],
+                    )
+                    retry_or_raise(shard_id)
+        finally:
+            for worker in fleet:
+                worker.stop()
+            deadline = time.time() + 2.0
+            for worker in fleet:
+                worker.process.join(timeout=max(0.0, deadline - time.time()))
+            for worker in fleet:
+                worker.kill()
+            result_queue.close()
+
+
+class _DeadWorkerStub:
+    """Minimal stand-in when a failure's worker handle is already gone."""
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id

@@ -1,0 +1,403 @@
+"""The sharded executor: plan + worker pool + journal + streaming sketches.
+
+:class:`ShardedExecutor` slots underneath
+:class:`~repro.channels.runner.UniverseRunner` as an alternative to the
+per-channel ``ProcessPoolExecutor`` fan-out.  The differences that matter
+at scale:
+
+* **O(shard) memory.**  Workers never ship per-peer samples to the
+  parent; each shard reduces its channels' zap-time distributions into a
+  :class:`~repro.metrics.sketch.QuantileSketch` and a
+  :class:`~repro.metrics.sketch.StreamAccumulator` in-process, and the
+  parent merges the per-shard aggregates in shard-id order (deterministic
+  regardless of completion order).
+* **Checkpointed progress.**  Every finished shard is journaled
+  (:class:`~repro.dist.journal.ShardJournal`) before it is folded into
+  the run, so an interrupted run resumes by replaying journaled shards
+  and re-simulating only the rest -- bit-identically, because shard
+  payloads are plain JSON with exact float round trips.
+* **Crash tolerance.**  Shards execute on a long-lived
+  :class:`~repro.dist.pool.WorkerPool` with per-shard heartbeats and
+  bounded retry.
+
+Workers re-derive each repetition's :class:`~repro.channels.universe.
+UniversePlan` locally from ``(spec, rep_seed)`` -- planning is a pure
+function -- and memoise it for the lifetime of the worker process, so
+shard payloads stay tiny and reusing workers across shards amortises the
+planning cost.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.channels.universe import (
+    ChannelOutcome,
+    PAIRED_ALGORITHMS,
+    UniverseRepResult,
+    UniverseSpec,
+    plan_universe,
+    run_planned_channel_detailed,
+)
+from repro.dist.journal import ShardJournal
+from repro.dist.plan import ShardPlan, ShardUnit
+from repro.dist.pool import WorkerPool
+from repro.metrics.sketch import (
+    DEFAULT_SKETCH_CAPACITY,
+    QuantileSketch,
+    StreamAccumulator,
+)
+
+__all__ = ["ShardResult", "ShardAggregates", "ShardedExecutor"]
+
+
+@dataclass(frozen=True)
+class ShardAggregates:
+    """The streaming aggregates of one algorithm (``normal`` or ``fast``)."""
+
+    sketch: QuantileSketch
+    stats: StreamAccumulator
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One executed shard: per-unit channel outcomes plus its aggregates.
+
+    The payload form (:meth:`to_payload`/:meth:`from_payload`) is plain
+    JSON -- it is both what workers return over the result queue and what
+    the journal checkpoints, so a replayed shard is byte-for-byte the
+    shard that ran.
+    """
+
+    shard_id: int
+    #: ``(rep_seed, channel) -> (normal outcome dict, fast outcome dict)``
+    outcomes: Mapping[Tuple[int, int], Tuple[Dict[str, Any], Dict[str, Any]]]
+    #: Per-algorithm zap-time aggregates over this shard's units.
+    sketches: Mapping[str, QuantileSketch]
+    stats: Mapping[str, StreamAccumulator]
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-friendly form (journal record / queue message)."""
+        return {
+            "units": [
+                {
+                    "rep_seed": rep_seed,
+                    "channel": channel,
+                    "normal": normal,
+                    "fast": fast,
+                }
+                for (rep_seed, channel), (normal, fast) in sorted(self.outcomes.items())
+            ],
+            "sketches": {name: sk.to_dict() for name, sk in self.sketches.items()},
+            "stats": {name: acc.to_dict() for name, acc in self.stats.items()},
+        }
+
+    @staticmethod
+    def from_payload(shard_id: int, payload: Mapping[str, Any]) -> "ShardResult":
+        """Rebuild from :meth:`to_payload` output (exact round trip)."""
+        outcomes = {
+            (int(unit["rep_seed"]), int(unit["channel"])): (
+                dict(unit["normal"]),
+                dict(unit["fast"]),
+            )
+            for unit in payload["units"]
+        }
+        return ShardResult(
+            shard_id=int(shard_id),
+            outcomes=outcomes,
+            sketches={
+                name: QuantileSketch.from_dict(sk)
+                for name, sk in payload["sketches"].items()
+            },
+            stats={
+                name: StreamAccumulator.from_dict(acc)
+                for name, acc in payload["stats"].items()
+            },
+        )
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+#: Per-worker plan memo: planning is pure in ``(spec, rep_seed)`` and
+#: workers live across shards, so repeated reps plan once per process.
+_PLAN_MEMO: Dict[Tuple[str, int], Any] = {}
+_PLAN_MEMO_LIMIT = 128
+
+
+def _planned(spec: UniverseSpec, rep_seed: int) -> Any:
+    memo_key = (json.dumps(spec.to_dict(), sort_keys=True), int(rep_seed))
+    plan = _PLAN_MEMO.get(memo_key)
+    if plan is None:
+        if len(_PLAN_MEMO) >= _PLAN_MEMO_LIMIT:
+            _PLAN_MEMO.clear()
+        plan = plan_universe(spec, rep_seed)
+        _PLAN_MEMO[memo_key] = plan
+    return plan
+
+
+def _run_shard_task(
+    payload: Mapping[str, Any], heartbeat: Callable[[str], None]
+) -> Dict[str, Any]:
+    """Worker entry point: run one shard's units, reduce, return JSON.
+
+    Module-level so it pickles; heartbeats once per unit with a
+    ``rep<seed>/ch<channel>`` label (what the failure summary surfaces).
+    """
+    spec = UniverseSpec.from_dict(payload["spec"])
+    compute_engine = payload["compute_engine"]
+    capacity = int(payload["sketch_capacity"])
+    sketches = {name: QuantileSketch(capacity=capacity) for name in PAIRED_ALGORITHMS}
+    stats = {name: StreamAccumulator() for name in PAIRED_ALGORITHMS}
+    units: List[Dict[str, Any]] = []
+    for unit in payload["units"]:
+        rep_seed = int(unit["rep_seed"])
+        channel = int(unit["channel"])
+        heartbeat(f"rep{rep_seed}/ch{channel}")
+        plan = _planned(spec, rep_seed)
+        (normal, fast), (normal_values, fast_values) = run_planned_channel_detailed(
+            plan, channel, compute_engine=compute_engine
+        )
+        for name, values in zip(PAIRED_ALGORITHMS, (normal_values, fast_values)):
+            sketches[name].extend(values)
+            for value in values:
+                stats[name].add(value)
+        units.append(
+            {
+                "rep_seed": rep_seed,
+                "channel": channel,
+                "normal": asdict(normal),
+                "fast": asdict(fast),
+            }
+        )
+    return {
+        "units": units,
+        "sketches": {name: sk.to_dict() for name, sk in sketches.items()},
+        "stats": {name: acc.to_dict() for name, acc in stats.items()},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------------- #
+class ShardedExecutor:
+    """Execute the pending repetitions of a :class:`ShardPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The full-run shard plan (built over *all* repetition seeds -- see
+        :class:`~repro.dist.plan.ShardPlan` -- never the pending subset).
+    workers:
+        Worker process count for the :class:`~repro.dist.pool.WorkerPool`.
+    compute_engine:
+        Simulation core for the workers (store-key-agnostic by contract).
+    journal_root:
+        Directory holding per-run checkpoint journals; ``None`` disables
+        checkpointing (no store to resume against).
+    max_retries / fault_hook:
+        Forwarded to the pool (crash tolerance / fault injection).
+    after_shard:
+        Optional parent-side callback ``(shard_id) -> None`` invoked after
+        each shard is journaled -- the seam the interrupt/resume tests use
+        to kill the run at a precise point.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        *,
+        workers: int = 1,
+        compute_engine: Optional[str] = None,
+        journal_root: Optional[Path] = None,
+        max_retries: int = 1,
+        fault_hook: Optional[Callable[[int, int], None]] = None,
+        after_shard: Optional[Callable[[int], None]] = None,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> None:
+        self.plan = plan
+        self.pool = WorkerPool(workers, max_retries=max_retries, fault_hook=fault_hook)
+        self.compute_engine = compute_engine
+        self.journal_root = Path(journal_root) if journal_root is not None else None
+        self.after_shard = after_shard
+        self.sketch_capacity = int(sketch_capacity)
+        #: Merged per-algorithm aggregates, populated once :meth:`execute`
+        #: has been fully consumed.  Cover only freshly simulated units --
+        #: replayed repetitions never re-enter the executor.
+        self.aggregates: Optional[Dict[str, ShardAggregates]] = None
+        #: How many shards were replayed from the journal last run.
+        self.journal_replayed: int = 0
+
+    # ------------------------------------------------------------------ #
+    def _open_journal(self) -> Optional[ShardJournal]:
+        if self.journal_root is None:
+            return None
+        run_key = self.plan.fingerprint()
+        manifest = {
+            "spec": self.plan.spec.to_dict(),
+            "rep_seeds": list(self.plan.rep_seeds),
+            "n_shards": self.plan.n_shards,
+            "sketch_capacity": self.sketch_capacity,
+        }
+        return ShardJournal.open(self.journal_root, run_key, manifest)
+
+    def _merge_aggregates(self, results: Mapping[int, ShardResult]) -> None:
+        merged: Dict[str, ShardAggregates] = {
+            name: ShardAggregates(
+                sketch=QuantileSketch(capacity=self.sketch_capacity),
+                stats=StreamAccumulator(),
+            )
+            for name in PAIRED_ALGORITHMS
+        }
+        # Shard-id order, never completion order: merging is deterministic
+        # across runs, interrupted or not.
+        for shard_id in sorted(results):
+            result = results[shard_id]
+            for name in PAIRED_ALGORITHMS:
+                merged[name].sketch.merge(result.sketches[name])
+                merged[name].stats.merge(result.stats[name])
+        self.aggregates = merged
+
+    # ------------------------------------------------------------------ #
+    def execute(self, pending_seeds: Sequence[int]) -> Iterator[UniverseRepResult]:
+        """Simulate the pending repetitions, yielding them in seed order.
+
+        Repetitions are yielded as soon as all their units are available
+        (journaled or freshly computed), in ``pending_seeds`` order --
+        exactly the contract :func:`repro.experiments.store.
+        replay_or_execute` expects, so the caller persists each one before
+        the next shard even finishes.  On full consumption the journal is
+        discarded and :attr:`aggregates` is populated.
+        """
+        pending = [int(seed) for seed in pending_seeds]
+        if not pending:
+            self._merge_aggregates({})
+            return
+        unknown = set(pending) - set(self.plan.rep_seeds)
+        if unknown:
+            raise ValueError(f"seeds not in plan: {sorted(unknown)}")
+        pending_set = set(pending)
+        n_channels = self.plan.spec.n_channels
+
+        # The units each shard must deliver for *this* run.
+        needed: Dict[int, List[ShardUnit]] = {}
+        for shard in self.plan.shards:
+            units = [u for u in shard.units if u.rep_seed in pending_set]
+            if units:
+                needed[shard.shard_id] = units
+
+        journal = self._open_journal()
+        results: Dict[int, ShardResult] = {}
+        self.journal_replayed = 0
+        if journal is not None:
+            for shard_id, payload in journal.completed().items():
+                if shard_id not in needed:
+                    continue
+                replayed = ShardResult.from_payload(shard_id, payload)
+                # A record is only usable if it covers every unit this
+                # run still needs from the shard (it may legally cover
+                # more: repetitions persisted since it was written).
+                if all(
+                    (u.rep_seed, u.channel) in replayed.outcomes
+                    for u in needed[shard_id]
+                ):
+                    results[shard_id] = replayed
+                    self.journal_replayed += 1
+
+        tasks: Dict[int, Dict[str, Any]] = {
+            shard_id: {
+                "spec": self.plan.spec.to_dict(),
+                "compute_engine": self.compute_engine,
+                "sketch_capacity": self.sketch_capacity,
+                "units": [u.to_dict() for u in units],
+            }
+            for shard_id, units in needed.items()
+            if shard_id not in results
+        }
+
+        # Assemble repetitions incrementally: a rep is ready once all its
+        # channels are collected; yield strictly in pending-seed order.
+        collected: Dict[Tuple[int, int], Tuple[Dict[str, Any], Dict[str, Any]]] = {}
+        remaining: Dict[int, int] = {seed: n_channels for seed in pending}
+        emitted = 0
+
+        def absorb(result: ShardResult) -> None:
+            for unit in needed[result.shard_id]:
+                unit_key = (unit.rep_seed, unit.channel)
+                if unit_key not in collected:
+                    collected[unit_key] = result.outcomes[unit_key]
+                    remaining[unit.rep_seed] -= 1
+
+        def drain(limit: int) -> Iterator[UniverseRepResult]:
+            nonlocal emitted
+            while emitted < limit and remaining[pending[emitted]] == 0:
+                yield self._assemble(pending[emitted], collected)
+                emitted += 1
+
+        # The consumer (``replay_or_execute``'s zip) never advances this
+        # generator past its last yield, so everything that must happen on
+        # success -- merging aggregates, discarding the journal, tearing
+        # the pool down -- has to precede the final repetition.  Hold the
+        # last one back until the epilogue has run.
+        hold_back = len(pending) - 1
+
+        for result in results.values():
+            absorb(result)
+        yield from drain(hold_back)
+
+        # Close the pool generator deterministically on any exit -- an
+        # exception from ``after_shard`` (the interrupt seam) or an
+        # abandoned consumer would otherwise leave worker teardown to GC.
+        pool_run = self.pool.run(_run_shard_task, tasks)
+        try:
+            for shard_id, payload in pool_run:
+                result = ShardResult.from_payload(shard_id, payload)
+                if journal is not None:
+                    journal.record(shard_id, payload)
+                results[shard_id] = result
+                if self.after_shard is not None:
+                    self.after_shard(shard_id)
+                absorb(result)
+                yield from drain(hold_back)
+        finally:
+            pool_run.close()
+
+        self._merge_aggregates(results)
+        if journal is not None:
+            journal.discard()
+        yield from drain(len(pending))
+
+    # ------------------------------------------------------------------ #
+    def _assemble(
+        self,
+        rep_seed: int,
+        collected: Dict[Tuple[int, int], Tuple[Dict[str, Any], Dict[str, Any]]],
+    ) -> UniverseRepResult:
+        """Reassemble one repetition from its per-channel outcome dicts.
+
+        Pops the consumed outcomes so parent memory stays bounded by the
+        in-flight shard frontier, not the whole run.
+        """
+        spec = self.plan.spec
+        normal: List[ChannelOutcome] = []
+        fast: List[ChannelOutcome] = []
+        for channel in range(spec.n_channels):
+            normal_doc, fast_doc = collected.pop((rep_seed, channel))
+            normal.append(ChannelOutcome(**normal_doc))
+            fast.append(ChannelOutcome(**fast_doc))
+        # n_zaps/surfers live on the zap plan; re-derive it (pure, memoised
+        # per worker but cheap enough to do once per rep in the parent).
+        plan = plan_universe(spec, rep_seed)
+        return UniverseRepResult(
+            universe=spec.name,
+            seed=int(rep_seed),
+            n_channels=spec.n_channels,
+            n_viewers=spec.n_viewers,
+            n_zaps=plan.zap_plan.n_zaps,
+            surfers=plan.zap_plan.surfers,
+            normal=tuple(normal),
+            fast=tuple(fast),
+        )

@@ -25,7 +25,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.experiments.config import make_session_config
 from repro.experiments.runner import PairedRunResult, run_pair
-from repro.experiments.store import ResultStore, pair_fingerprint, sweep_fingerprint
+from repro.experiments.store import BaseResultStore, pair_fingerprint, sweep_fingerprint
 from repro.experiments.sweeps import SizeSweepResult, SweepPoint, _aggregate
 from repro.streaming.session import SessionConfig
 
@@ -106,7 +106,7 @@ class ParallelSweepRunner:
         predictably.
     """
 
-    def __init__(self, workers: int = 1, store: Optional[ResultStore] = None) -> None:
+    def __init__(self, workers: int = 1, store: Optional[BaseResultStore] = None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)

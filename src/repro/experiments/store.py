@@ -90,7 +90,11 @@ __all__ = [
     "sweep_to_dict",
     "sweep_from_dict",
     "StoreEntry",
+    "BaseResultStore",
     "ResultStore",
+    "STORE_BACKENDS",
+    "open_store",
+    "migrate_store",
     "default_results_dir",
     "replay_or_execute",
 ]
@@ -391,99 +395,116 @@ class StoreEntry:
         }
 
 
-class ResultStore:
-    """A directory of JSON result documents keyed by content fingerprints.
+class BaseResultStore:
+    """Behaviour shared by every result-store backend.
+
+    A result store maps content-fingerprint keys to JSON documents.  Two
+    backends exist: the original one-file-per-document directory
+    (:class:`ResultStore`) and a single-file SQLite database
+    (:class:`~repro.experiments.sqlite_store.SQLiteStore`).  Concrete
+    backends provide the storage primitives (:meth:`load`, :meth:`save`,
+    :meth:`delete`, :meth:`keys`, :meth:`clear` and the listing hook
+    :meth:`_all_entries`); the envelope stamping, the per-kind typed
+    savers, replay-only semantics and entry filtering all live here so
+    the backends cannot drift apart -- the backend-parametrised store
+    test suite pins that both satisfy the same contract, document for
+    document.
 
     Parameters
     ----------
     root:
-        Directory holding the documents (created on first use).
+        Results directory (created on first use).  Both backends anchor
+        here: the JSON backend spreads documents inside it, the SQLite
+        backend keeps one ``store.sqlite`` file in it.
     replay_only:
         When true, consumers must find every result they need in the store;
         :class:`MissingResultError` is raised instead of simulating.  Used
         by ``repro-gossip figure --from-store``.
-
-    Writes are atomic (temp file + ``os.replace``) and keys are unique per
-    configuration, so concurrent writers -- e.g. parallel sweep workers on
-    a shared results directory -- cannot corrupt each other's entries.
     """
+
+    #: Backend tag (what ``open_store`` dispatches on).
+    backend: str = "?"
 
     def __init__(self, root: "str | os.PathLike[str]", *, replay_only: bool = False) -> None:
         self.root = Path(root)
         self.replay_only = bool(replay_only)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    # -- low-level document access ------------------------------------- #
-    def path_for(self, key: str) -> Path:
-        """Filesystem path of a key's document."""
-        return self.root / f"{key}.json"
-
-    def meta_path_for(self, key: str) -> Path:
-        """Path of a key's small metadata sidecar (what ``ls`` reads).
-
-        Pair documents at paper scale run to megabytes; the sidecar keeps
-        listing the store O(number of entries) instead of O(store bytes).
-        """
-        return self.root / f"{key}.meta.json"
-
-    def contains(self, key: str) -> bool:
-        """Whether the store holds a (readable) document for ``key``."""
-        return self.load(key) is not None
-
+    # -- backend primitives --------------------------------------------- #
     def load(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` when absent.
 
         Corrupt or unreadable documents are treated as misses rather than
         errors: the result is simply recomputed and rewritten.
         """
-        path = self.path_for(key)
-        try:
-            with path.open("r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            return None
-        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
-            return None
-        return payload
+        raise NotImplementedError
 
     def save(self, key: str, payload: Mapping[str, Any]) -> Path:
-        """Atomically persist ``payload`` under ``key`` and return its path.
+        """Atomically persist ``payload`` under ``key``; returns its path
+        (the document file, or the database file on SQLite)."""
+        raise NotImplementedError
 
-        A small metadata sidecar (see :meth:`meta_path_for`) is written
-        alongside the document so listings never have to parse the full
-        payload.
+    def delete(self, key: str) -> bool:
+        """Remove one document; returns whether it existed."""
+        raise NotImplementedError
+
+    def keys(self) -> List[str]:
+        """All stored keys, sorted."""
+        raise NotImplementedError
+
+    def clear(self) -> int:
+        """Delete every stored document; returns how many were removed."""
+        raise NotImplementedError
+
+    def _all_entries(self) -> List["StoreEntry"]:
+        """One :class:`StoreEntry` per stored document, in key order."""
+        raise NotImplementedError
+
+    # -- shared behaviour ------------------------------------------------ #
+    def _stamp(self, key: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """The document envelope, identical across backends.
+
+        ``setdefault`` throughout: a payload that already carries envelope
+        fields (a replayed or migrated document) keeps them verbatim --
+        which is what makes ``repro store migrate`` lossless.
         """
         document = dict(payload)
         document.setdefault("schema", SCHEMA_VERSION)
         document.setdefault("key", key)
         document.setdefault("code_version", code_version())
         document.setdefault("created", datetime.now(timezone.utc).isoformat())
-        path = self.path_for(key)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(document, handle, sort_keys=True)
-        os.replace(tmp, path)
-        self._write_meta(key, document)
-        return path
+        return document
 
-    def _write_meta(self, key: str, document: Mapping[str, Any]) -> None:
-        meta = {
-            "schema": SCHEMA_VERSION,
-            "key": key,
-            "kind": document.get("kind", "?"),
-            "created": document.get("created", ""),
-            "code_version": document.get("code_version", ""),
-            "description": _describe(document),
-        }
-        path = self.meta_path_for(key)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            json.dump(meta, handle, sort_keys=True)
-        os.replace(tmp, path)
+    def contains(self, key: str) -> bool:
+        """Whether the store holds a (readable) document for ``key``."""
+        return self.load(key) is not None
 
     def missing(self, key: str) -> "MissingResultError":
         """The error to raise for a miss in replay-only mode."""
         return MissingResultError(key)
+
+    def entries(
+        self, *, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> List["StoreEntry"]:
+        """Stored-document summaries (what ``store ls`` shows).
+
+        ``kind`` filters to one document kind; ``limit`` keeps only the
+        newest ``N`` by creation time (newest first).  Without ``limit``
+        entries come in key order, matching historical output.
+        """
+        entries = self._all_entries()
+        if kind is not None:
+            entries = [entry for entry in entries if entry.kind == kind]
+        if limit is not None:
+            if limit < 0:
+                raise ValueError(f"limit must be >= 0, got {limit}")
+            entries = sorted(
+                entries, key=lambda entry: (entry.created, entry.key), reverse=True
+            )[:limit]
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.keys())
 
     # -- pair documents -------------------------------------------------- #
     def save_pair(
@@ -580,6 +601,92 @@ class ResultStore:
             return None
         return sweep_from_dict(payload["sweep"])
 
+class ResultStore(BaseResultStore):
+    """A directory of JSON result documents keyed by content fingerprints.
+
+    The original (and default) backend: one ``<key>.json`` per document
+    plus a small ``<key>.meta.json`` sidecar for fast listings.  Writes
+    are atomic (temp file + ``os.replace``) and keys are unique per
+    configuration, so concurrent writers -- e.g. parallel sweep workers on
+    a shared results directory -- cannot corrupt each other's entries.
+    """
+
+    backend = "json"
+
+    # -- low-level document access ------------------------------------- #
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of a key's document."""
+        return self.root / f"{key}.json"
+
+    def meta_path_for(self, key: str) -> Path:
+        """Path of a key's small metadata sidecar (what ``ls`` reads).
+
+        Pair documents at paper scale run to megabytes; the sidecar keeps
+        listing the store O(number of entries) instead of O(store bytes).
+        """
+        return self.root / f"{key}.meta.json"
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` when absent.
+
+        Corrupt or unreadable documents are treated as misses rather than
+        errors: the result is simply recomputed and rewritten.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    def save(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Atomically persist ``payload`` under ``key`` and return its path.
+
+        A small metadata sidecar (see :meth:`meta_path_for`) is written
+        alongside the document so listings never have to parse the full
+        payload.
+        """
+        document = self._stamp(key, payload)
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        os.replace(tmp, path)
+        self._write_meta(key, document)
+        return path
+
+    def delete(self, key: str) -> bool:
+        """Remove one document (and its sidecar); returns whether it existed."""
+        existed = False
+        try:
+            self.path_for(key).unlink()
+            existed = True
+        except OSError:
+            pass
+        try:
+            self.meta_path_for(key).unlink()
+        except OSError:
+            pass
+        return existed
+
+    def _write_meta(self, key: str, document: Mapping[str, Any]) -> None:
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "kind": document.get("kind", "?"),
+            "created": document.get("created", ""),
+            "code_version": document.get("code_version", ""),
+            "description": _describe(document),
+        }
+        path = self.meta_path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(meta, handle, sort_keys=True)
+        os.replace(tmp, path)
+
     #: Filename globs of the store's own documents.  ``keys``/``clear``
     #: only ever touch these shapes, so pointing ``--results-dir`` at a
     #: directory that also holds unrelated ``.json`` files is safe.
@@ -605,8 +712,8 @@ class ResultStore:
         """All stored keys, sorted."""
         return [path.stem for path in self._document_paths()]
 
-    def entries(self) -> List[StoreEntry]:
-        """One :class:`StoreEntry` per stored document (what ``ls`` shows).
+    def _all_entries(self) -> List[StoreEntry]:
+        """One :class:`StoreEntry` per stored document, in key order.
 
         Reads the small metadata sidecars, falling back to parsing the full
         document only when a sidecar is missing (e.g. a store written by an
@@ -667,19 +774,65 @@ class ResultStore:
                 pass
         return removed
 
-    def __len__(self) -> int:
-        return len(self.keys())
-
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = ", replay_only=True" if self.replay_only else ""
         return f"ResultStore({str(self.root)!r}{mode})"
+
+
+# --------------------------------------------------------------------------- #
+# backend selection and migration
+# --------------------------------------------------------------------------- #
+#: The store backends ``open_store`` (and ``--store-backend``) accept.
+STORE_BACKENDS: Tuple[str, ...] = ("json", "sqlite")
+
+
+def open_store(
+    root: "str | os.PathLike[str]",
+    *,
+    backend: str = "json",
+    replay_only: bool = False,
+) -> BaseResultStore:
+    """Open the results directory through the chosen backend.
+
+    Both backends anchor at the same directory -- the JSON backend spreads
+    ``<key>.json`` files in it, the SQLite backend keeps one
+    ``store.sqlite`` file in it -- so switching backends never moves the
+    results location, only the on-disk format.
+    """
+    if backend == "json":
+        return ResultStore(root, replay_only=replay_only)
+    if backend == "sqlite":
+        from repro.experiments.sqlite_store import SQLiteStore
+
+        return SQLiteStore(root, replay_only=replay_only)
+    raise ValueError(
+        f"unknown store backend {backend!r} (expected one of {', '.join(STORE_BACKENDS)})"
+    )
+
+
+def migrate_store(source: BaseResultStore, dest: BaseResultStore) -> int:
+    """Copy every document from ``source`` into ``dest``; returns the count.
+
+    Lossless by construction: documents are copied with their envelope
+    (``created``, ``code_version``, ...) intact -- :meth:`BaseResultStore.
+    _stamp` only fills fields that are absent -- so migrating JSON ->
+    SQLite -> JSON round-trips byte-identical document payloads.
+    """
+    migrated = 0
+    for key in source.keys():
+        document = source.load(key)
+        if document is None:
+            continue  # corrupt/foreign entry: nothing faithful to copy
+        dest.save(key, document)
+        migrated += 1
+    return migrated
 
 
 _T = TypeVar("_T")
 
 
 def replay_or_execute(
-    store: Optional[ResultStore],
+    store: Optional[BaseResultStore],
     keys: Sequence[str],
     *,
     load: Callable[[str], Optional[_T]],

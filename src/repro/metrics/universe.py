@@ -27,7 +27,13 @@ import numpy as np
 
 from repro.metrics.collectors import PeerOutcome
 
-__all__ = ["ZapTimeStats", "zap_time_stats", "decile_of", "weighted_mean"]
+__all__ = [
+    "ZapTimeStats",
+    "zap_time_stats",
+    "zap_time_values",
+    "decile_of",
+    "weighted_mean",
+]
 
 
 @dataclass(frozen=True)
@@ -42,14 +48,18 @@ class ZapTimeStats:
     unfinished: int
 
 
-def zap_time_stats(
+def zap_time_values(
     outcomes: Sequence[PeerOutcome], *, horizon: float
-) -> ZapTimeStats:
-    """Per-peer zap-time statistics over one channel's tracked peers.
+) -> Tuple[List[float], int]:
+    """Per-peer zap-time samples of one channel mesh.
 
-    Percentiles use linear interpolation on the sorted samples; an empty
-    outcome list yields all-zero statistics (a channel whose mesh emptied
-    out before the switch completed).
+    Returns the samples (one per tracked peer, in outcome order) and how
+    many peers never completed within the horizon -- those contribute the
+    horizon itself, mirroring
+    :class:`~repro.metrics.collectors.MetricsCollector`.  This is the raw
+    distribution both :func:`zap_time_stats` and the sharded runtime's
+    streaming sketches (:mod:`repro.metrics.sketch`) are computed from, so
+    the two aggregation paths agree sample for sample.
     """
     values: List[float] = []
     unfinished = 0
@@ -59,6 +69,19 @@ def zap_time_stats(
             values.append(float(horizon))
         else:
             values.append(float(outcome.switch_complete_time))
+    return values, unfinished
+
+
+def zap_time_stats(
+    outcomes: Sequence[PeerOutcome], *, horizon: float
+) -> ZapTimeStats:
+    """Per-peer zap-time statistics over one channel's tracked peers.
+
+    Percentiles use linear interpolation on the sorted samples; an empty
+    outcome list yields all-zero statistics (a channel whose mesh emptied
+    out before the switch completed).
+    """
+    values, unfinished = zap_time_values(outcomes, horizon=horizon)
     if not values:
         return ZapTimeStats(peers=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, unfinished=0)
     samples = np.sort(np.asarray(values, dtype=float))

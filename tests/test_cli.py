@@ -376,3 +376,98 @@ def test_universe_run_with_topology_persists_net_document(tmp_path, capsys):
 
     store = ResultStore(results)
     assert any(key.startswith("net-") for key in store.keys())
+
+
+# --------------------------------------------------------------------------- #
+# sharded runtime, store backends, bench trend
+# --------------------------------------------------------------------------- #
+def test_parser_knows_dist_and_backend_flags():
+    parser = build_parser()
+    args = parser.parse_args(["universe", "run", "lineup-mini", "--shards", "4",
+                              "--workers", "2", "--store-backend", "sqlite",
+                              "--results-dir", "/tmp/r"])
+    assert args.shards == 4 and args.store_backend == "sqlite"
+    args = parser.parse_args(["store", "ls", "--results-dir", "/tmp/r",
+                              "--limit", "3", "--kind", "run"])
+    assert args.limit == 3 and args.kind == "run"
+    args = parser.parse_args(["store", "migrate", "--results-dir", "/tmp/r",
+                              "--to", "sqlite", "--dest-dir", "/tmp/d"])
+    assert args.to_backend == "sqlite" and args.dest_dir == "/tmp/d"
+    args = parser.parse_args(["bench", "trend", "--bench-dir", "/tmp/b", "--json"])
+    assert args.bench_command == "trend" and args.bench_dir == "/tmp/b" and args.json
+
+
+def test_universe_run_sharded_on_sqlite_persists_and_replays(tmp_path, capsys):
+    store_dir = tmp_path / "results"
+    argv = ["universe", "run", "lineup-mini", "--channels", "3", "--viewers", "30",
+            "--seed", "4", "--repetitions", "2", "--shards", "4", "--workers", "2",
+            "--store-backend", "sqlite", "--results-dir", str(store_dir), "--json"]
+    assert main(argv) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert first["simulated"] == 2 and first["replayed"] == 0
+    assert (store_dir / "store.sqlite").exists()
+    assert not (store_dir / "journal").exists()  # discarded on success
+    assert main(argv + ["--from-store"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["replayed"] == 2 and second["simulated"] == 0
+    assert second["channel_rows"] == first["channel_rows"]
+
+
+def test_store_ls_kind_and_limit_flags(tmp_path, capsys):
+    store_dir = tmp_path / "results"
+    assert main(["sweep", "--sizes", "30", "--seed", "2", "--max-time", "70",
+                 "--results-dir", str(store_dir)]) == 0
+    capsys.readouterr()
+    assert main(["store", "ls", "--results-dir", str(store_dir),
+                 "--kind", "run", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert [e["kind"] for e in entries] == ["pair"]  # "run" aliases "pair"
+    assert main(["store", "ls", "--results-dir", str(store_dir),
+                 "--limit", "1", "--json"]) == 0
+    assert len(json.loads(capsys.readouterr().out)) == 1
+    assert main(["store", "ls", "--results-dir", str(store_dir),
+                 "--kind", "universe", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_store_migrate_between_backends(tmp_path, capsys):
+    store_dir = tmp_path / "results"
+    assert main(["sweep", "--sizes", "30", "--seed", "2", "--max-time", "70",
+                 "--results-dir", str(store_dir)]) == 0
+    capsys.readouterr()
+    # json -> sqlite in place, then ls through the sqlite backend
+    assert main(["store", "migrate", "--results-dir", str(store_dir),
+                 "--to", "sqlite"]) == 0
+    assert "migrated 2 document(s)" in capsys.readouterr().out
+    assert main(["store", "ls", "--results-dir", str(store_dir),
+                 "--store-backend", "sqlite", "--json"]) == 0
+    entries = json.loads(capsys.readouterr().out)
+    assert sorted(e["kind"] for e in entries) == ["pair", "sweep"]
+    # migrating a store onto itself is refused
+    assert main(["store", "migrate", "--results-dir", str(store_dir),
+                 "--to", "json"]) == 1
+
+
+def test_bench_trend_renders_trajectory(tmp_path, capsys):
+    (tmp_path / "BENCH_aaa.json").write_text(json.dumps({
+        "git_sha": "aaa", "created": "2026-01-01T00:00:00",
+        "benchmarks": [{"name": "bench_x.py::test_speed", "mean_s": 2.0}],
+    }), encoding="utf-8")
+    (tmp_path / "BENCH_bbb.json").write_text(json.dumps({
+        "git_sha": "bbb", "created": "2026-02-01T00:00:00",
+        "benchmarks": [{"name": "bench_x.py::test_speed", "mean_s": 1.0}],
+    }), encoding="utf-8")
+    assert main(["bench", "trend", "--bench-dir", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summaries"] == ["BENCH_aaa.json", "BENCH_bbb.json"]
+    assert [row["git_sha"] for row in payload["rows"]] == ["aaa", "bbb"]
+    assert payload["rows"][0]["change"] is None
+    assert payload["rows"][1]["change"] == pytest.approx(-0.5)
+    assert main(["bench", "trend", "--bench-dir", str(tmp_path)]) == 0
+    table = capsys.readouterr().out
+    assert "test_speed" in table and "-50.0%" in table
+
+
+def test_bench_trend_empty_directory(tmp_path, capsys):
+    assert main(["bench", "trend", "--bench-dir", str(tmp_path)]) == 0
+    assert "no BENCH_*.json" in capsys.readouterr().out

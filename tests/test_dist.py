@@ -1,0 +1,392 @@
+"""Tests for the sharded universe runtime (:mod:`repro.dist`).
+
+Covers the shard plan, the crash-tolerant worker pool, the checkpoint
+journal, and the acceptance properties of the sharded executor: serial
+vs. sharded bit-identity at store-document level (both engines, both
+store backends), streaming-sketch exactness against
+:func:`~repro.metrics.universe.zap_time_stats`, and interrupt/resume
+byte-identity re-simulating only unfinished shards.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.channels.runner import run_universe, universe_fingerprint
+from repro.channels.universe import UniverseSpec, run_universe_rep
+from repro.dist import (
+    Shard,
+    ShardExecutionError,
+    ShardJournal,
+    ShardPlan,
+    ShardUnit,
+    WorkerPool,
+)
+from repro.experiments.store import STORE_BACKENDS, open_store
+
+#: The same deliberately tiny universe the channel tests use.
+TINY = UniverseSpec(
+    name="tiny-dist",
+    description="dist-test universe",
+    n_channels=4,
+    n_viewers=48,
+    zipf_exponent=1.0,
+    min_audience=8,
+    surfer_fraction=0.4,
+    surfer_zap_rate=0.15,
+    loyal_zap_rate=0.01,
+    duration=16.0,
+)
+
+
+# --------------------------------------------------------------------------- #
+# shard plan
+# --------------------------------------------------------------------------- #
+class TestShardPlan:
+    def test_build_is_deterministic(self):
+        first = ShardPlan.build(TINY, [0, 1, 2], 3)
+        second = ShardPlan.build(TINY, [0, 1, 2], 3)
+        assert first == second
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_covers_every_unit_exactly_once(self):
+        plan = ShardPlan.build(TINY, [0, 1, 2], 5)
+        units = [unit for shard in plan.shards for unit in shard.units]
+        assert len(units) == plan.n_units == 3 * TINY.n_channels
+        assert len(set(units)) == len(units)
+
+    def test_round_robin_balance(self):
+        plan = ShardPlan.build(TINY, [0, 1, 2], 5)
+        sizes = [len(shard) for shard in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_clamped_to_unit_count(self):
+        plan = ShardPlan.build(TINY, [7], 100)
+        assert plan.n_shards == TINY.n_channels
+        assert all(len(shard) == 1 for shard in plan.shards)
+
+    def test_shard_of_matches_the_partition(self):
+        plan = ShardPlan.build(TINY, [0, 1, 2], 5)
+        for shard in plan.shards:
+            for unit in shard.units:
+                assert plan.shard_of(unit) == shard.shard_id
+        with pytest.raises(KeyError):
+            plan.shard_of(ShardUnit(rep_seed=99, channel=0))
+        with pytest.raises(KeyError):
+            plan.shard_of(ShardUnit(rep_seed=0, channel=TINY.n_channels))
+
+    def test_fingerprint_rotates_with_inputs(self):
+        base = ShardPlan.build(TINY, [0, 1], 2).fingerprint()
+        assert ShardPlan.build(TINY, [0, 1], 3).fingerprint() != base
+        assert ShardPlan.build(TINY, [0, 2], 2).fingerprint() != base
+        bigger = TINY.scaled_to(n_viewers=60)
+        assert ShardPlan.build(bigger, [0, 1], 2).fingerprint() != base
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPlan.build(TINY, [0], 0)
+        with pytest.raises(ValueError):
+            ShardPlan.build(TINY, [], 2)
+
+    def test_unit_round_trips_through_dict(self):
+        unit = ShardUnit(rep_seed=3, channel=1)
+        assert ShardUnit.from_dict(unit.to_dict()) == unit
+
+    def test_shard_rep_seeds_in_unit_order(self):
+        shard = Shard(
+            shard_id=0,
+            units=(
+                ShardUnit(rep_seed=5, channel=0),
+                ShardUnit(rep_seed=2, channel=1),
+                ShardUnit(rep_seed=5, channel=2),
+            ),
+        )
+        assert shard.rep_seeds == (5, 2)
+
+
+# --------------------------------------------------------------------------- #
+# worker pool (synthetic, picklable task functions)
+# --------------------------------------------------------------------------- #
+def _double_task(payload, heartbeat):
+    heartbeat(f"rep{payload}/ch0")
+    return payload * 2
+
+
+def _failing_task(payload, heartbeat):
+    heartbeat(f"rep{payload}/ch{payload + 1}")
+    raise RuntimeError(f"unit {payload} exploded")
+
+
+def _crash_once_hook(worker_id, shard_id):
+    """Hard-kill the worker on each shard's first attempt only."""
+    flag = os.path.join(os.environ["DIST_TEST_FLAGS"], f"shard-{shard_id}")
+    if not os.path.exists(flag):
+        with open(flag, "w", encoding="utf-8"):
+            pass
+        os._exit(13)
+
+
+def _always_raise_hook(worker_id, shard_id):
+    raise RuntimeError("injected fault")
+
+
+class TestWorkerPool:
+    def test_runs_every_task_once(self):
+        pool = WorkerPool(2)
+        results = dict(pool.run(_double_task, {0: 10, 1: 11, 2: 12}))
+        assert results == {0: 20, 1: 22, 2: 24}
+        assert pool.failures == []
+
+    def test_heartbeats_record_the_unit_label(self):
+        pool = WorkerPool(1)
+        list(pool.run(_double_task, {0: 7}))
+        label, stamp = pool.last_heartbeat(0)
+        assert label == "rep7/ch0"
+        assert stamp > 0
+
+    def test_mid_shard_error_names_the_offending_unit(self):
+        pool = WorkerPool(1, max_retries=0)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            list(pool.run(_failing_task, {4: 4}))
+        message = str(excinfo.value)
+        assert "shard 4 failed after 1 attempt(s)" in message
+        assert "rep4/ch5" in message  # the last heartbeat: the unit that died
+        assert "unit 4 exploded" in message
+        (failure,) = excinfo.value.failures
+        assert failure.shard_id == 4
+        assert failure.last_heartbeat == "rep4/ch5"
+
+    def test_worker_crash_is_retried_on_a_respawned_worker(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("DIST_TEST_FLAGS", str(tmp_path))
+        pool = WorkerPool(2, max_retries=1, fault_hook=_crash_once_hook)
+        results = dict(pool.run(_double_task, {0: 1, 1: 2, 2: 3}))
+        assert results == {0: 2, 1: 4, 2: 6}
+        # every shard crashed exactly once before succeeding
+        assert sorted(f.shard_id for f in pool.failures) == [0, 1, 2]
+        assert all(f.error == "worker process died" for f in pool.failures)
+
+    def test_exhausted_retries_raise_with_full_summary(self):
+        pool = WorkerPool(1, max_retries=1, fault_hook=_always_raise_hook)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            list(pool.run(_double_task, {0: 1}))
+        assert excinfo.value.shard_id == 0
+        assert len(excinfo.value.failures) == 2  # first try + one retry
+        assert "injected fault" in str(excinfo.value)
+
+    def test_empty_task_map_is_a_no_op(self):
+        assert list(WorkerPool(2).run(_double_task, {})) == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+        with pytest.raises(ValueError):
+            WorkerPool(1, max_retries=-1)
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint journal
+# --------------------------------------------------------------------------- #
+class TestShardJournal:
+    MANIFEST = {"spec": {"name": "x"}, "n_shards": 2}
+
+    def test_record_round_trips_exactly(self, tmp_path):
+        journal = ShardJournal.open(tmp_path, "run-a", self.MANIFEST)
+        payload = {"units": [{"value": 0.1 + 0.2}], "sketches": {}}
+        journal.record(0, payload)
+        completed = journal.completed()
+        assert set(completed) == {0}
+        assert completed[0]["units"] == payload["units"]  # exact floats
+        assert completed[0]["shard_id"] == 0
+
+    def test_reopen_with_same_manifest_keeps_records(self, tmp_path):
+        ShardJournal.open(tmp_path, "run-a", self.MANIFEST).record(1, {"units": []})
+        journal = ShardJournal.open(tmp_path, "run-a", self.MANIFEST)
+        assert set(journal.completed()) == {1}
+
+    def test_manifest_mismatch_wipes_the_directory(self, tmp_path):
+        ShardJournal.open(tmp_path, "run-a", self.MANIFEST).record(1, {"units": []})
+        journal = ShardJournal.open(tmp_path, "run-a", {"spec": {"name": "y"}})
+        assert journal.completed() == {}
+
+    def test_unparsable_records_are_skipped(self, tmp_path):
+        journal = ShardJournal.open(tmp_path, "run-a", self.MANIFEST)
+        journal.record(0, {"units": []})
+        (journal.directory / "shard-00001.json").write_text("{torn", encoding="utf-8")
+        assert set(journal.completed()) == {0}
+
+    def test_discard_removes_journal_and_empty_root(self, tmp_path):
+        root = tmp_path / "journal"
+        journal = ShardJournal.open(root, "run-a", self.MANIFEST)
+        journal.record(0, {"units": []})
+        assert ShardJournal.exists(root, "run-a")
+        journal.discard()
+        assert not ShardJournal.exists(root, "run-a")
+        assert not root.exists()
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end: bit-identity, sketches, interrupt/resume
+# --------------------------------------------------------------------------- #
+def _universe_documents(store):
+    """Every universe-* document, keyed, with volatile fields dropped."""
+    docs = {}
+    for key in store.keys():
+        if not key.startswith("universe-"):
+            continue
+        document = store.load(key)
+        document.pop("created", None)
+        docs[key] = json.dumps(document, sort_keys=True)
+    assert docs, "no universe documents persisted"
+    return docs
+
+
+@pytest.mark.parametrize("engine", ["oracle", "vector"])
+@pytest.mark.parametrize("backend", STORE_BACKENDS)
+def test_sharded_run_is_bit_identical_to_serial(tmp_path, engine, backend):
+    serial_store = open_store(tmp_path / "serial", backend=backend)
+    sharded_store = open_store(tmp_path / "sharded", backend=backend)
+    run_universe(
+        TINY, seed=0, repetitions=2, store=serial_store, compute_engine=engine
+    )
+    run_universe(
+        TINY, seed=0, repetitions=2, store=sharded_store,
+        compute_engine=engine, shards=3, workers=2,
+    )
+    assert _universe_documents(sharded_store) == _universe_documents(serial_store)
+    # the journal never outlives a successful run
+    assert not (sharded_store.root / "journal").exists()
+
+
+def test_streaming_aggregates_match_exact_statistics(tmp_path):
+    from repro.channels.runner import UniverseRunner
+
+    store = open_store(tmp_path, backend="json")
+    runner = UniverseRunner(workers=2, store=store, shards=3)
+    result = runner.run(TINY, seed=0, repetitions=2)
+    aggregates = runner.last_aggregates
+    assert aggregates is not None and set(aggregates) == {"normal", "fast"}
+
+    # Pool the exact per-peer samples the serial statistics are built from
+    # (re-derived through the same detailed channel runner the workers use).
+    from repro.channels.universe import plan_universe, run_planned_channel_detailed
+
+    pooled = {"normal": [], "fast": []}
+    for rep in result.reps:
+        plan = plan_universe(TINY, rep.seed)
+        for channel in range(TINY.n_channels):
+            _, (normal_values, fast_values) = run_planned_channel_detailed(plan, channel)
+            pooled["normal"].extend(normal_values)
+            pooled["fast"].extend(fast_values)
+    for name in ("normal", "fast"):
+        samples = pooled[name]
+        agg = aggregates[name]
+        assert agg.stats.count == len(samples)
+        assert agg.stats.mean == pytest.approx(float(np.mean(samples)), rel=0, abs=1e-12)
+        assert agg.sketch.count == len(samples)
+        # tiny universe => below sketch capacity => exact percentiles
+        assert agg.sketch.exact
+        for q in (50.0, 90.0, 99.0):
+            assert agg.sketch.percentile(q) == float(np.percentile(samples, q))
+
+
+def test_aggregates_cover_only_fresh_repetitions(tmp_path):
+    from repro.channels.runner import UniverseRunner
+
+    store = open_store(tmp_path, backend="json")
+    run_universe(TINY, seed=0, repetitions=2, store=store, shards=2)
+    runner = UniverseRunner(store=store, shards=2)
+    replayed = runner.run(TINY, seed=0, repetitions=2)
+    assert replayed.replayed == 2
+    assert runner.last_aggregates is None  # nothing freshly simulated
+
+
+class _StopAfter:
+    """after_shard hook that interrupts the run after ``n`` shards."""
+
+    def __init__(self, n):
+        self.n = n
+        self.seen = 0
+
+    def __call__(self, shard_id):
+        self.seen += 1
+        if self.seen >= self.n:
+            raise KeyboardInterrupt
+
+
+def test_interrupted_run_resumes_byte_identically(tmp_path):
+    from repro.channels.runner import UniverseRunner
+
+    reference_store = open_store(tmp_path / "ref", backend="json")
+    run_universe(TINY, seed=0, repetitions=3, store=reference_store, shards=4)
+    reference = _universe_documents(reference_store)
+
+    store = open_store(tmp_path / "resumed", backend="json")
+    interrupted = UniverseRunner(
+        workers=2, store=store, shards=4, after_shard=_StopAfter(2)
+    )
+    with pytest.raises(KeyboardInterrupt):
+        interrupted.run(TINY, seed=0, repetitions=3)
+
+    # the journal survived the interrupt
+    plan = ShardPlan.build(TINY, [0, 1, 2], 4)
+    journal_root = store.root / "journal"
+    assert ShardJournal.exists(journal_root, plan.fingerprint())
+
+    run_universe(TINY, seed=0, repetitions=3, store=store, shards=4, workers=2)
+    assert _universe_documents(store) == reference
+    assert not journal_root.exists()
+
+
+def test_resume_replays_finished_shards_from_journal(tmp_path):
+    from repro.channels.runner import UniverseRunner
+
+    store = open_store(tmp_path, backend="json")
+    interrupted = UniverseRunner(
+        workers=1, store=store, shards=4, after_shard=_StopAfter(2)
+    )
+    with pytest.raises(KeyboardInterrupt):
+        interrupted.run(TINY, seed=0, repetitions=3)
+
+    resumed = UniverseRunner(workers=1, store=store, shards=4)
+    result = resumed.run(TINY, seed=0, repetitions=3)
+    assert result.repetitions == 3
+    # the two finished shards came back from the journal, not the simulator
+    assert resumed.journal_replayed == 2
+    # and the resumed store matches a from-scratch serial repetition
+    from repro.channels.runner import rep_to_dict
+
+    serial = rep_to_dict(run_universe_rep(TINY, 0))
+    stored = store.load_universe(universe_fingerprint(TINY, 0))["rep"]
+    assert json.dumps(stored, sort_keys=True) == json.dumps(serial, sort_keys=True)
+
+
+def test_crashed_worker_produces_identical_documents(tmp_path, monkeypatch):
+    flags = tmp_path / "flags"
+    flags.mkdir()
+    monkeypatch.setenv("DIST_TEST_FLAGS", str(flags))
+
+    reference_store = open_store(tmp_path / "ref", backend="json")
+    run_universe(TINY, seed=0, repetitions=2, store=reference_store, shards=2)
+
+    from repro.channels.runner import UniverseRunner
+
+    store = open_store(tmp_path / "crashy", backend="json")
+    runner = UniverseRunner(
+        workers=2, store=store, shards=2, max_retries=1, fault_hook=_crash_once_hook
+    )
+    runner.run(TINY, seed=0, repetitions=2)
+    assert _universe_documents(store) == _universe_documents(reference_store)
+
+
+def test_exhausted_shard_failure_reaches_the_caller(tmp_path):
+    from repro.channels.runner import UniverseRunner
+
+    store = open_store(tmp_path, backend="json")
+    runner = UniverseRunner(
+        workers=1, store=store, shards=2, max_retries=0, fault_hook=_always_raise_hook
+    )
+    with pytest.raises(ShardExecutionError) as excinfo:
+        runner.run(TINY, seed=0, repetitions=1)
+    assert "injected fault" in str(excinfo.value)

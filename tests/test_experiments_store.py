@@ -7,10 +7,13 @@ import pytest
 from repro.experiments.config import make_session_config
 from repro.experiments.runner import run_pair
 from repro.experiments.store import (
+    STORE_BACKENDS,
     MissingResultError,
     ResultStore,
     config_from_dict,
     config_to_dict,
+    migrate_store,
+    open_store,
     pair_fingerprint,
     session_result_from_dict,
     session_result_to_dict,
@@ -26,6 +29,26 @@ def _fresh_cache():
     clear_sweep_cache()
     yield
     clear_sweep_cache()
+
+
+@pytest.fixture(params=STORE_BACKENDS)
+def any_store(request, tmp_path):
+    """One store per backend: the whole contract suite runs against both."""
+    return open_store(tmp_path, backend=request.param)
+
+
+def _corrupt(store, key):
+    """Plant an unparsable document under ``key``, whatever the backend."""
+    if store.backend == "json":
+        store.path_for(key).write_text("{not json", encoding="utf-8")
+    else:
+        with store._connect() as connection:
+            connection.execute(
+                "INSERT OR REPLACE INTO documents "
+                "(key, kind, created, code_version, description, size_bytes, payload) "
+                "VALUES (?, '?', '', '', '', 0, '{not json')",
+                (key,),
+            )
 
 
 def _tiny(n=36, seed=2, **overrides):
@@ -101,10 +124,10 @@ def test_sweep_round_trips_exactly_through_json():
 
 
 # --------------------------------------------------------------------------- #
-# the store itself
+# the store itself (every test on both backends)
 # --------------------------------------------------------------------------- #
-def test_store_save_load_pair(tmp_path):
-    store = ResultStore(tmp_path)
+def test_store_save_load_pair(any_store):
+    store = any_store
     config = _tiny()
     pair = run_pair(config, store=store)
     key = pair_fingerprint(config)
@@ -116,8 +139,8 @@ def test_store_save_load_pair(tmp_path):
     assert fast.metrics == pair.fast.metrics
 
 
-def test_run_pair_replays_from_store_without_simulating(tmp_path, monkeypatch):
-    store = ResultStore(tmp_path)
+def test_run_pair_replays_from_store_without_simulating(any_store, monkeypatch):
+    store = any_store
     config = _tiny()
     first = run_pair(config, store=store)
 
@@ -133,24 +156,30 @@ def test_run_pair_replays_from_store_without_simulating(tmp_path, monkeypatch):
 
 
 def test_replay_only_store_raises_on_miss(tmp_path):
-    store = ResultStore(tmp_path, replay_only=True)
-    with pytest.raises(MissingResultError):
-        run_pair(_tiny(), store=store)
+    for backend in STORE_BACKENDS:
+        store = open_store(tmp_path / backend, backend=backend, replay_only=True)
+        with pytest.raises(MissingResultError):
+            run_pair(_tiny(), store=store)
 
 
-def test_corrupt_documents_are_treated_as_misses(tmp_path):
-    store = ResultStore(tmp_path)
+def test_corrupt_documents_are_treated_as_misses(any_store):
+    store = any_store
     key = pair_fingerprint(_tiny())
-    store.path_for(key).write_text("{not json", encoding="utf-8")
+    _corrupt(store, key)
     assert store.load(key) is None
     assert not store.contains(key)
+
+
+def test_corrupt_json_documents_are_listed_as_corrupt(tmp_path):
+    store = ResultStore(tmp_path)
+    _corrupt(store, pair_fingerprint(_tiny()))
     # entries() still lists (and labels) the unreadable document
     kinds = [entry.kind for entry in store.entries()]
     assert kinds == ["corrupt"]
 
 
-def test_store_entries_and_clear(tmp_path):
-    store = ResultStore(tmp_path)
+def test_store_entries_and_clear(any_store):
+    store = any_store
     run_size_sweep([30], seed=2, repetitions=1, overrides=OVERRIDES, store=store)
     entries = store.entries()
     assert sorted(entry.kind for entry in entries) == ["pair", "sweep"]
@@ -158,6 +187,80 @@ def test_store_entries_and_clear(tmp_path):
     assert len(store) == 2
     assert store.clear() == 2
     assert len(store) == 0
+
+
+def test_store_delete(any_store):
+    store = any_store
+    run_size_sweep([30], seed=2, repetitions=1, overrides=OVERRIDES, store=store)
+    key = store.keys()[0]
+    assert store.delete(key) is True
+    assert not store.contains(key)
+    assert key not in store.keys()
+    assert store.delete(key) is False  # already gone
+
+
+def test_store_entries_kind_and_limit_filters(any_store):
+    store = any_store
+    run_size_sweep([30], seed=2, repetitions=1, overrides=OVERRIDES, store=store)
+    assert [e.kind for e in store.entries(kind="pair")] == ["pair"]
+    assert [e.kind for e in store.entries(kind="sweep")] == ["sweep"]
+    assert store.entries(kind="universe") == []
+    assert len(store.entries(limit=1)) == 1
+    assert len(store.entries(limit=10)) == 2
+    # limit orders newest-first by the created timestamp
+    newest = store.entries(limit=2)
+    assert newest[0].created >= newest[1].created
+    with pytest.raises(ValueError):
+        store.entries(limit=-1)
+
+
+def _scrub_volatile(node):
+    """Drop the wall-clock fields that legitimately differ between runs."""
+    if isinstance(node, dict):
+        return {
+            key: _scrub_volatile(value)
+            for key, value in node.items()
+            if key not in ("created", "wallclock_seconds")
+        }
+    if isinstance(node, list):
+        return [_scrub_volatile(item) for item in node]
+    return node
+
+
+def test_backends_store_identical_documents(tmp_path):
+    """The serialised document is byte-identical across backends."""
+    config = _tiny()
+    stores = {
+        backend: open_store(tmp_path / backend, backend=backend)
+        for backend in STORE_BACKENDS
+    }
+    for store in stores.values():
+        run_pair(config, store=store)
+    key = pair_fingerprint(config)
+    docs = {
+        backend: json.dumps(_scrub_volatile(store.load(key)), sort_keys=True)
+        for backend, store in stores.items()
+    }
+    assert docs["json"] == docs["sqlite"]
+
+
+def test_migrate_round_trips_losslessly(tmp_path):
+    source = open_store(tmp_path / "src", backend="json")
+    run_size_sweep([30], seed=2, repetitions=1, overrides=OVERRIDES, store=source)
+    sqlite = open_store(tmp_path / "mid", backend="sqlite")
+    assert migrate_store(source, sqlite) == 2
+    back = open_store(tmp_path / "dst", backend="json")
+    assert migrate_store(sqlite, back) == 2
+    assert back.keys() == source.keys()
+    for key in source.keys():
+        # envelope included: created/code_version survive both hops verbatim
+        assert back.load(key) == source.load(key)
+    # and the migrated pair deserialises into live results
+    pair_key = next(key for key in sqlite.keys() if key.startswith("pair-"))
+    loaded = sqlite.load_pair(pair_key)
+    assert loaded is not None
+    normal, fast = loaded
+    assert normal.metrics is not None and fast.metrics is not None
 
 
 def test_clear_leaves_unrelated_files_alone(tmp_path):
@@ -170,8 +273,8 @@ def test_clear_leaves_unrelated_files_alone(tmp_path):
     assert unrelated.exists()  # only pair-*/sweep-* documents were deleted
 
 
-def test_sweep_through_store_replays_exactly(tmp_path, monkeypatch):
-    store = ResultStore(tmp_path)
+def test_sweep_through_store_replays_exactly(any_store, monkeypatch):
+    store = any_store
     kwargs = dict(seed=2, repetitions=2, overrides=OVERRIDES)
     first = run_size_sweep([30, 36], store=store, **kwargs)
 
@@ -187,6 +290,6 @@ def test_sweep_through_store_replays_exactly(tmp_path, monkeypatch):
     # even with the aggregated sweep entry removed, the pairs replay
     for key in store.keys():
         if key.startswith("sweep-"):
-            store.path_for(key).unlink()
+            store.delete(key)
     third = run_size_sweep([30, 36], store=store, **kwargs)
     assert third == first
