@@ -141,8 +141,13 @@ def find_previous_summary(
     "Most recent" is decided by the ``created`` timestamp recorded inside
     each summary (ties broken by filename), never by file mtime, so the
     choice is deterministic across checkouts and CI caches.  The file the
-    current run is about to (over)write, unreadable files and non-summary
-    JSON are all skipped.  Returns the parsed summary, or ``None``.
+    current run is about to (over)write, unreadable files, non-summary
+    JSON and summaries without a ``created`` timestamp are all skipped --
+    the same rule :func:`repro.analysis.bench.load_bench_summaries`
+    applies, so the trend view and this gate agree on what "previous"
+    means; under a bare string sort a timestampless file would collapse
+    to ``""`` and a malformed summary could become the comparison
+    baseline.  Returns the parsed summary, or ``None``.
     """
     candidates: List[Any] = []
     for path in sorted(Path(output_dir).glob("BENCH_*.json")):
@@ -155,7 +160,10 @@ def find_previous_summary(
             continue
         if not isinstance(summary, dict) or "benchmarks" not in summary:
             continue
-        candidates.append((str(summary.get("created", "")), path.name, summary))
+        created = str(summary.get("created", "") or "")
+        if not created:
+            continue
+        candidates.append((created, path.name, summary))
     if not candidates:
         return None
     candidates.sort(key=lambda item: (item[0], item[1]))

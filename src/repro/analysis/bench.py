@@ -10,12 +10,16 @@ the same benchmark -- what ``repro bench trend`` prints.
 Summaries are ordered by the ``created`` timestamp embedded in each file
 (ties broken by filename), never by file mtime, matching the discovery
 rule of ``run_benchmarks.py --check`` so the trend and the regression
-gate always agree on what "previous" means.
+gate always agree on what "previous" means.  Summaries *without* a
+``created`` timestamp are skipped entirely -- under the old string sort
+they collapsed to ``""`` (oldest), so one malformed file silently became
+the ``--check`` comparison baseline; the gate applies the same skip.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
@@ -26,8 +30,10 @@ def load_bench_summaries(bench_dir: "str | Path") -> List[Dict[str, Any]]:
     """All parsable ``BENCH_*.json`` summaries, oldest first.
 
     Ordered by each summary's embedded ``created`` timestamp (ties broken
-    by filename).  Unreadable files and JSON without a ``benchmarks`` list
-    are skipped -- the directory may hold unrelated files.
+    by filename).  Unreadable files, JSON without a ``benchmarks`` list
+    and summaries without a ``created`` timestamp are skipped -- the
+    directory may hold unrelated files, and a summary that cannot be
+    placed on the timeline must never become anyone's baseline.
     """
     candidates: List[Any] = []
     for path in sorted(Path(bench_dir).glob("BENCH_*.json")):
@@ -38,9 +44,12 @@ def load_bench_summaries(bench_dir: "str | Path") -> List[Dict[str, Any]]:
             continue
         if not isinstance(summary, dict) or not isinstance(summary.get("benchmarks"), list):
             continue
+        created = str(summary.get("created", "") or "")
+        if not created:
+            continue
         summary = dict(summary)
         summary["file"] = path.name
-        candidates.append((str(summary.get("created", "")), path.name, summary))
+        candidates.append((created, path.name, summary))
     candidates.sort(key=lambda item: (item[0], item[1]))
     return [summary for _, _, summary in candidates]
 
@@ -49,10 +58,13 @@ def bench_trend_rows(summaries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """One trajectory row per (summary, benchmark), oldest summary first.
 
     ``change`` is the signed fractional mean-time change against the most
-    recent *earlier* summary that ran the same benchmark (``None`` for a
-    benchmark's first appearance, or when the earlier mean was zero) --
-    so a benchmark added mid-history baselines at its introduction, and
-    commits that skipped a benchmark do not break its chain.
+    recent *earlier* summary that ran the same benchmark and recorded a
+    finite, positive mean (``None`` for a benchmark's first appearance,
+    or when either mean is unusable) -- so a benchmark added mid-history
+    baselines at its introduction, commits that skipped a benchmark do
+    not break its chain, and a summary with a missing/zero ``mean_s``
+    (a failed run coerced to ``0.0``) never becomes the baseline that
+    suppresses the next real run's change.
     """
     previous_mean: Dict[str, float] = {}
     rows: List[Dict[str, Any]] = []
@@ -61,10 +73,14 @@ def bench_trend_rows(summaries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         created = str(summary.get("created", ""))
         for bench in summary["benchmarks"]:
             name = str(bench.get("name", "?"))
-            mean = float(bench.get("mean_s", 0.0))
+            try:
+                mean = float(bench.get("mean_s", 0.0))
+            except (TypeError, ValueError):
+                mean = 0.0
+            usable = math.isfinite(mean) and mean > 0.0
             before: Optional[float] = previous_mean.get(name)
             change: Optional[float] = None
-            if before is not None and before > 0:
+            if usable and before is not None:
                 change = (mean - before) / before
             rows.append(
                 {
@@ -75,5 +91,6 @@ def bench_trend_rows(summaries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
                     "change": change,
                 }
             )
-            previous_mean[name] = mean
+            if usable:
+                previous_mean[name] = mean
     return rows

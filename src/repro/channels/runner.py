@@ -25,16 +25,18 @@ re-running a named universe replays from disk without simulating.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.channels.aggregates import RepAggregator, unit_aggregate
 from repro.channels.universe import (
+    PAIRED_ALGORITHMS,
     ChannelOutcome,
     UniversePlan,
     UniverseRepResult,
     UniverseSpec,
     plan_universe,
-    run_planned_channel,
+    run_planned_channel_detailed,
     run_universe_rep,
 )
 from repro.experiments.store import (
@@ -82,7 +84,13 @@ def universe_fingerprint(
 
 
 def rep_to_dict(rep: UniverseRepResult) -> Dict[str, Any]:
-    """JSON-friendly dictionary form of a :class:`UniverseRepResult`."""
+    """JSON-friendly dictionary form of a :class:`UniverseRepResult`.
+
+    Deliberately excludes the ``aggregates`` block: the store document
+    carries it as a top-level sibling of ``rep`` (see the runner's save
+    path), so aggregate-only consumers never deserialise -- or even
+    parse past -- the raw per-channel outcome table.
+    """
     return {
         "universe": rep.universe,
         "seed": rep.seed,
@@ -221,14 +229,24 @@ class UniverseResult:
 # --------------------------------------------------------------------------- #
 def _execute_channel(
     payload: Tuple[UniversePlan, int, Optional[str]]
-) -> Tuple[ChannelOutcome, ChannelOutcome]:
+) -> Tuple[Tuple[ChannelOutcome, ChannelOutcome], Dict[str, Dict[str, Any]]]:
     """Worker entry point (module-level so it pickles).
 
     Receives the repetition's already-expanded plan -- planned once in the
     parent -- so workers never re-derive the zap script per channel.
+    Returns the paired outcomes plus the channel's per-algorithm unit
+    aggregates (built worker-side from the raw zap samples, which never
+    leave the worker).
     """
     plan, channel_index, compute_engine = payload
-    return run_planned_channel(plan, channel_index, compute_engine=compute_engine)
+    (normal, fast), (normal_values, fast_values) = run_planned_channel_detailed(
+        plan, channel_index, compute_engine=compute_engine
+    )
+    units = {
+        "normal": unit_aggregate(normal_values, normal.unfinished),
+        "fast": unit_aggregate(fast_values, fast.unfinished),
+    }
+    return (normal, fast), units
 
 
 class UniverseRunner:
@@ -306,7 +324,16 @@ class UniverseRunner:
 
         def _load(key: str) -> Optional[UniverseRepResult]:
             document = self.store.load_universe(key)
-            return None if document is None else rep_from_dict(document["rep"])
+            if document is None:
+                return None
+            rep = rep_from_dict(document["rep"])
+            # Replays are faithful: re-attach the streaming-aggregate block
+            # persisted next to the raw outcome table.  Documents written
+            # before the block existed replay with ``aggregates=None``.
+            aggregates = document.get("aggregates")
+            if aggregates is not None:
+                rep = replace(rep, aggregates=aggregates)
+            return rep
 
         # The topology is fixed per spec: persist its net-* document (and
         # hash it) at most once per run, on the first fresh repetition.
@@ -323,6 +350,12 @@ class UniverseRunner:
                 "spec": spec.to_dict(),
                 "rep": rep_to_dict(rep),
             }
+            if rep.aggregates is not None:
+                # The streaming-aggregate block sits NEXT TO the raw
+                # outcome table, never inside it: universe-scale figures
+                # read only this key (plus the identification fields), so
+                # they stay O(channels), not O(viewers).
+                document["aggregates"] = rep.aggregates
             if net_key_memo[0] is not None:
                 document["net_key"] = net_key_memo[0]
             self.store.save_universe(key, document)
@@ -403,10 +436,18 @@ class UniverseRunner:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(payloads))
         ) as pool:
-            pairs = list(pool.map(_execute_channel, payloads))
+            results = list(pool.map(_execute_channel, payloads))
         for rep_index, plan in enumerate(plans):
             offset = rep_index * spec.n_channels
-            channel_pairs = pairs[offset : offset + spec.n_channels]
+            channel_results = results[offset : offset + spec.n_channels]
+            # Ascending channel order: the canonical aggregate fold order
+            # shared with the serial and sharded paths.
+            aggregator = RepAggregator()
+            for pair, units in channel_results:
+                for algorithm in PAIRED_ALGORITHMS:
+                    aggregator.fold_unit(
+                        algorithm, pair[0].decile, units[algorithm]
+                    )
             yield UniverseRepResult(
                 universe=spec.name,
                 seed=plan.seed,
@@ -414,8 +455,9 @@ class UniverseRunner:
                 n_viewers=spec.n_viewers,
                 n_zaps=plan.zap_plan.n_zaps,
                 surfers=plan.zap_plan.surfers,
-                normal=tuple(pair[0] for pair in channel_pairs),
-                fast=tuple(pair[1] for pair in channel_pairs),
+                normal=tuple(pair[0] for pair, _ in channel_results),
+                fast=tuple(pair[1] for pair, _ in channel_results),
+                aggregates=aggregator.to_dict(),
             )
 
 

@@ -432,7 +432,16 @@ class ChannelOutcome:
 
 @dataclass(frozen=True)
 class UniverseRepResult:
-    """Both algorithms' channel outcomes for one universe repetition."""
+    """Both algorithms' channel outcomes for one universe repetition.
+
+    ``aggregates`` is the repetition's streaming-aggregate block
+    (:mod:`repro.channels.aggregates`): per algorithm, a quantile sketch
+    and a stream accumulator over the pooled per-peer zap times, overall
+    and per popularity decile.  Freshly simulated repetitions always carry
+    it (every execution path folds it identically); repetitions replayed
+    from the store leave it ``None`` -- figure generation reads the block
+    straight off the store document instead.
+    """
 
     universe: str
     seed: int
@@ -442,6 +451,7 @@ class UniverseRepResult:
     surfers: int
     normal: Tuple[ChannelOutcome, ...]
     fast: Tuple[ChannelOutcome, ...]
+    aggregates: Optional[Dict[str, Any]] = None
 
     def outcomes(self, algorithm: str) -> Tuple[ChannelOutcome, ...]:
         """The per-channel outcomes of one algorithm."""
@@ -485,7 +495,9 @@ def _channel_outcome(
 
 
 def _rep_result(
-    plan: UniversePlan, outcomes: Dict[str, List[ChannelOutcome]]
+    plan: UniversePlan,
+    outcomes: Dict[str, List[ChannelOutcome]],
+    aggregates: Optional[Dict[str, Any]] = None,
 ) -> UniverseRepResult:
     return UniverseRepResult(
         universe=plan.spec.name,
@@ -496,6 +508,7 @@ def _rep_result(
         surfers=plan.zap_plan.surfers,
         normal=tuple(outcomes["normal"]),
         fast=tuple(outcomes["fast"]),
+        aggregates=aggregates,
     )
 
 
@@ -537,19 +550,31 @@ class UniverseSession:
 
     def run(self) -> UniverseRepResult:
         """Drive every mesh to the horizon and summarise per channel."""
+        from repro.channels.aggregates import RepAggregator, unit_aggregate
+        from repro.metrics.universe import zap_time_values
+
         started = _wallclock.perf_counter()
         self.engine.run_until(self.spec.horizon + self.spec.tau)
         self.wallclock_seconds = _wallclock.perf_counter() - started
         outcomes: Dict[str, List[ChannelOutcome]] = {a: [] for a in PAIRED_ALGORITHMS}
+        # Ascending channel order -- the canonical fold order every
+        # execution path shares (see repro.channels.aggregates).
+        aggregator = RepAggregator()
         for channel_index in range(self.plan.n_channels):
             for algorithm in PAIRED_ALGORITHMS:
                 session = self.sessions[(channel_index, algorithm)]
-                outcomes[algorithm].append(
-                    _channel_outcome(
-                        self.plan, channel_index, algorithm, session.finalize()
-                    )
+                result = session.finalize()
+                outcome = _channel_outcome(
+                    self.plan, channel_index, algorithm, result
                 )
-        return _rep_result(self.plan, outcomes)
+                outcomes[algorithm].append(outcome)
+                samples, _ = zap_time_values(
+                    result.metrics.outcomes, horizon=result.metrics.horizon
+                )
+                aggregator.fold_unit(
+                    algorithm, outcome.decile, unit_aggregate(samples, outcome.unfinished)
+                )
+        return _rep_result(self.plan, outcomes, aggregates=aggregator.to_dict())
 
 
 def run_universe_rep(

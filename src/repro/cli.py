@@ -55,6 +55,15 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
     (commit, benchmark) across all ``BENCH_<sha>.json`` summaries,
     with the mean-time change against each benchmark's previous run.
 
+``report``
+    Render every figure in the declarative registry
+    (:mod:`repro.figures`) from a results store into one self-contained
+    HTML report (``report.html`` plus per-figure ``data/<name>.json``):
+    the nine paper figures and the universe-scale sketch-backed figures,
+    a benchmark-trajectory table (``--bench-dir``) and a store
+    inventory.  ``--from-store`` forbids simulation -- figures without
+    stored results are listed as skipped instead of simulated.
+
 ``scenario NAME``
     Run one of the named example scenarios -- thin wrappers over workload
     specs, executed through the same engine (store-backed; ``--compare``
@@ -396,6 +405,36 @@ def build_parser() -> argparse.ArgumentParser:
                              help="directory holding the BENCH_*.json summaries "
                                   "(default: the current directory)")
     bench_trend.add_argument("--json", action="store_true")
+
+    report = sub.add_parser(
+        "report",
+        help="render every registered figure from a results store into one "
+             "self-contained HTML report",
+    )
+    report.add_argument("--out", default="report",
+                        help="output directory for report.html and data/ "
+                             "(default: ./report)")
+    report.add_argument("--title", default="Reproduction report")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--sizes", type=_positive_int, nargs="+", default=None,
+                        help="overlay sizes for the sweep figures "
+                             "(default: the generators' reduced sizes)")
+    report.add_argument("--n-nodes", type=_positive_int, default=None,
+                        help="overlay size for the ratio-track figures")
+    report.add_argument("--repetitions", type=_positive_int, default=1)
+    report.add_argument("--workers", type=_positive_int, default=1)
+    report.add_argument("--universe", default=None,
+                        help="restrict the universe figures to one named "
+                             "universe (default: all stored universes)")
+    report.add_argument("--bench-dir", default=None,
+                        help="also render the benchmark trajectory from this "
+                             "directory's BENCH_*.json summaries")
+    report.add_argument("--from-store", action="store_true",
+                        help="replay-only: forbid simulation, skip figures "
+                             "whose results are not stored")
+    report.add_argument("--json", action="store_true",
+                        help="print the report summary as JSON")
+    _add_store_arguments(report)
     return parser
 
 
@@ -860,6 +899,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.figures import render_report
+
+    store = _resolve_store(args, replay_only=args.from_store, required=True)
+    summary = render_report(
+        store,
+        args.out,
+        title=args.title,
+        bench_dir=args.bench_dir,
+        seed=args.seed,
+        sizes=args.sizes,
+        n_nodes=args.n_nodes,
+        repetitions=args.repetitions,
+        workers=args.workers,
+        universe=args.universe,
+    )
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"wrote {summary.html_path} "
+          f"({len(summary.rendered)} figures rendered, "
+          f"{len(summary.skipped)} skipped)")
+    for name, reason in summary.skipped.items():
+        print(f"  skipped {name}: {reason}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     records = generate_trace(args.n_nodes, seed=args.seed, mean_degree=args.mean_degree)
     write_trace(records, args.path,
@@ -880,6 +946,7 @@ _COMMANDS = {
     "net": _cmd_net,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "report": _cmd_report,
 }
 
 

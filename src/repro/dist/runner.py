@@ -30,10 +30,11 @@ planning cost.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+from repro.channels.aggregates import RepAggregator, unit_aggregate
 from repro.channels.universe import (
     ChannelOutcome,
     PAIRED_ALGORITHMS,
@@ -78,19 +79,33 @@ class ShardResult:
     #: Per-algorithm zap-time aggregates over this shard's units.
     sketches: Mapping[str, QuantileSketch]
     stats: Mapping[str, StreamAccumulator]
+    #: ``(rep_seed, channel) -> {algorithm: unit aggregate dict}`` -- the
+    #: per-channel building blocks of the persisted repetition aggregates
+    #: (:mod:`repro.channels.aggregates`), built worker-side at the
+    #: default sketch capacity.  May be empty for journal records written
+    #: before aggregates were persisted; such records are unusable and
+    #: their shards re-simulate.
+    unit_aggregates: Mapping[Tuple[int, int], Dict[str, Any]] = field(
+        default_factory=dict
+    )
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-friendly form (journal record / queue message)."""
+        unit_aggregates = self.unit_aggregates or {}
+        units = []
+        for (rep_seed, channel), (normal, fast) in sorted(self.outcomes.items()):
+            unit: Dict[str, Any] = {
+                "rep_seed": rep_seed,
+                "channel": channel,
+                "normal": normal,
+                "fast": fast,
+            }
+            aggregates = unit_aggregates.get((rep_seed, channel))
+            if aggregates is not None:
+                unit["aggregates"] = aggregates
+            units.append(unit)
         return {
-            "units": [
-                {
-                    "rep_seed": rep_seed,
-                    "channel": channel,
-                    "normal": normal,
-                    "fast": fast,
-                }
-                for (rep_seed, channel), (normal, fast) in sorted(self.outcomes.items())
-            ],
+            "units": units,
             "sketches": {name: sk.to_dict() for name, sk in self.sketches.items()},
             "stats": {name: acc.to_dict() for name, acc in self.stats.items()},
         }
@@ -98,13 +113,13 @@ class ShardResult:
     @staticmethod
     def from_payload(shard_id: int, payload: Mapping[str, Any]) -> "ShardResult":
         """Rebuild from :meth:`to_payload` output (exact round trip)."""
-        outcomes = {
-            (int(unit["rep_seed"]), int(unit["channel"])): (
-                dict(unit["normal"]),
-                dict(unit["fast"]),
-            )
-            for unit in payload["units"]
-        }
+        outcomes = {}
+        unit_aggregates = {}
+        for unit in payload["units"]:
+            unit_key = (int(unit["rep_seed"]), int(unit["channel"]))
+            outcomes[unit_key] = (dict(unit["normal"]), dict(unit["fast"]))
+            if "aggregates" in unit:
+                unit_aggregates[unit_key] = dict(unit["aggregates"])
         return ShardResult(
             shard_id=int(shard_id),
             outcomes=outcomes,
@@ -116,6 +131,7 @@ class ShardResult:
                 name: StreamAccumulator.from_dict(acc)
                 for name, acc in payload["stats"].items()
             },
+            unit_aggregates=unit_aggregates,
         )
 
 
@@ -171,6 +187,14 @@ def _run_shard_task(
                 "channel": channel,
                 "normal": asdict(normal),
                 "fast": asdict(fast),
+                # Per-unit aggregates always use the DEFAULT capacity (not
+                # the executor's shard-level ``sketch_capacity``) so the
+                # persisted repetition aggregates are byte-identical to
+                # the serial and parallel paths regardless of knobs.
+                "aggregates": {
+                    "normal": unit_aggregate(normal_values, normal.unfinished),
+                    "fast": unit_aggregate(fast_values, fast.unfinished),
+                },
             }
         )
     return {
@@ -299,9 +323,12 @@ class ShardedExecutor:
                 replayed = ShardResult.from_payload(shard_id, payload)
                 # A record is only usable if it covers every unit this
                 # run still needs from the shard (it may legally cover
-                # more: repetitions persisted since it was written).
+                # more: repetitions persisted since it was written) --
+                # outcomes AND per-unit aggregates both; a record from
+                # before aggregates were journaled re-simulates.
                 if all(
                     (u.rep_seed, u.channel) in replayed.outcomes
+                    and (u.rep_seed, u.channel) in replayed.unit_aggregates
                     for u in needed[shard_id]
                 ):
                     results[shard_id] = replayed
@@ -320,7 +347,10 @@ class ShardedExecutor:
 
         # Assemble repetitions incrementally: a rep is ready once all its
         # channels are collected; yield strictly in pending-seed order.
-        collected: Dict[Tuple[int, int], Tuple[Dict[str, Any], Dict[str, Any]]] = {}
+        collected: Dict[
+            Tuple[int, int],
+            Tuple[Dict[str, Any], Dict[str, Any], Dict[str, Any]],
+        ] = {}
         remaining: Dict[int, int] = {seed: n_channels for seed in pending}
         emitted = 0
 
@@ -328,7 +358,12 @@ class ShardedExecutor:
             for unit in needed[result.shard_id]:
                 unit_key = (unit.rep_seed, unit.channel)
                 if unit_key not in collected:
-                    collected[unit_key] = result.outcomes[unit_key]
+                    normal_doc, fast_doc = result.outcomes[unit_key]
+                    collected[unit_key] = (
+                        normal_doc,
+                        fast_doc,
+                        result.unit_aggregates[unit_key],
+                    )
                     remaining[unit.rep_seed] -= 1
 
         def drain(limit: int) -> Iterator[UniverseRepResult]:
@@ -374,20 +409,29 @@ class ShardedExecutor:
     def _assemble(
         self,
         rep_seed: int,
-        collected: Dict[Tuple[int, int], Tuple[Dict[str, Any], Dict[str, Any]]],
+        collected: Dict[
+            Tuple[int, int],
+            Tuple[Dict[str, Any], Dict[str, Any], Dict[str, Any]],
+        ],
     ) -> UniverseRepResult:
         """Reassemble one repetition from its per-channel outcome dicts.
 
         Pops the consumed outcomes so parent memory stays bounded by the
-        in-flight shard frontier, not the whole run.
+        in-flight shard frontier, not the whole run.  The per-unit
+        aggregates fold in ascending channel order -- the canonical order
+        shared with the serial and parallel paths, which is what keeps
+        the persisted ``aggregates`` block byte-identical across them.
         """
         spec = self.plan.spec
         normal: List[ChannelOutcome] = []
         fast: List[ChannelOutcome] = []
+        aggregator = RepAggregator()
         for channel in range(spec.n_channels):
-            normal_doc, fast_doc = collected.pop((rep_seed, channel))
+            normal_doc, fast_doc, units = collected.pop((rep_seed, channel))
             normal.append(ChannelOutcome(**normal_doc))
             fast.append(ChannelOutcome(**fast_doc))
+            for name in PAIRED_ALGORITHMS:
+                aggregator.fold_unit(name, int(fast_doc["decile"]), units[name])
         # n_zaps/surfers live on the zap plan; re-derive it (pure, memoised
         # per worker but cheap enough to do once per rep in the parent).
         plan = plan_universe(spec, rep_seed)
@@ -400,4 +444,5 @@ class ShardedExecutor:
             surfers=plan.zap_plan.surfers,
             normal=tuple(normal),
             fast=tuple(fast),
+            aggregates=aggregator.to_dict(),
         )

@@ -17,6 +17,13 @@ Every simulation-backed generator accepts ``store=`` (a
 generation is pure replay -- no simulator code runs.  The sweep figures
 additionally accept ``workers=`` to fan the underlying size sweep out over
 a process pool (see :mod:`repro.experiments.parallel`).
+
+These generators are also the builders behind the declarative figure
+registry (:mod:`repro.figures`), which re-registers each of them under a
+stable name (``fig7-switch-static``, ...) next to the universe-scale
+sketch-backed figures, and which ``repro report`` renders wholesale.
+``FIGURE_GENERATORS``/:func:`generate_figure` remain the stable
+number-keyed interface used by ``repro figure N`` and the benchmarks.
 """
 
 from __future__ import annotations

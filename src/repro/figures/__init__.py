@@ -1,0 +1,39 @@
+"""Declarative figure registry and the store-backed HTML report.
+
+Importing this package populates the registry: the nine classic paper
+figures (:mod:`repro.figures.paper`) followed by the universe-scale
+sketch-backed figures (:mod:`repro.figures.universe`).  Render any of
+them by name with :func:`render_figure`, or the whole registry into one
+HTML report with :func:`render_report` (the ``repro report`` command).
+"""
+
+from __future__ import annotations
+
+from repro.figures.paper import register_paper_figures
+from repro.figures.registry import (
+    FIGURES,
+    FigureSpec,
+    FigureUnavailable,
+    figure_names,
+    get_figure,
+    register_figure,
+    render_figure,
+)
+from repro.figures.universe import register_universe_figures
+
+register_paper_figures()
+register_universe_figures()
+
+from repro.figures.report import ReportSummary, render_report  # noqa: E402
+
+__all__ = [
+    "FIGURES",
+    "FigureSpec",
+    "FigureUnavailable",
+    "register_figure",
+    "figure_names",
+    "get_figure",
+    "render_figure",
+    "ReportSummary",
+    "render_report",
+]

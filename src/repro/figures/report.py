@@ -1,0 +1,286 @@
+"""Render a whole results store into a self-contained HTML report.
+
+``repro report`` walks the complete figure registry
+(:func:`repro.figures.registry.figure_names`), renders every figure it
+can from the given store, and writes:
+
+* ``<out>/report.html`` -- one self-contained page (inline CSS, inline
+  SVG charts, no external assets): a figure index, the benchmark
+  trajectory table (when a bench directory is given), one section per
+  rendered figure with its chart and data table, and a store inventory;
+* ``<out>/data/<name>.json`` -- each rendered figure's data as
+  sorted-key JSON, the machine-readable companion the CI smoke job (and
+  the determinism tests) diff.
+
+Figures that cannot render -- universe figures over a store with no
+universe documents, simulation figures against a replay-only store
+missing their keys -- are *skipped* and listed with their reason, never
+fatal.  Rendering from a warm store replays everything from disk, so the
+same store always produces byte-identical output (no timestamps are
+embedded anywhere).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.bench import bench_trend_rows, load_bench_summaries
+from repro.analysis.charts import svg_bar_chart, svg_line_chart
+from repro.experiments.figures import FigureResult
+from repro.experiments.store import BaseResultStore, MissingResultError
+from repro.figures.registry import (
+    FigureUnavailable,
+    figure_names,
+    get_figure,
+    render_figure,
+)
+
+__all__ = ["ReportSummary", "render_report"]
+
+
+@dataclass
+class ReportSummary:
+    """What :func:`render_report` produced (what ``repro report`` prints)."""
+
+    out_dir: Path
+    html_path: Path
+    rendered: List[str] = field(default_factory=list)
+    skipped: Dict[str, str] = field(default_factory=dict)
+    data_files: List[Path] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for ``repro report --json``."""
+        return {
+            "out_dir": str(self.out_dir),
+            "html": str(self.html_path),
+            "rendered": list(self.rendered),
+            "skipped": dict(self.skipped),
+            "data_files": [str(path) for path in self.data_files],
+        }
+
+
+def render_report(
+    store: BaseResultStore,
+    out_dir: "str | Path",
+    *,
+    title: str = "Reproduction report",
+    bench_dir: Optional["str | Path"] = None,
+    seed: int = 0,
+    sizes: Optional[Sequence[int]] = None,
+    n_nodes: Optional[int] = None,
+    repetitions: int = 1,
+    workers: int = 1,
+    universe: Optional[str] = None,
+) -> ReportSummary:
+    """Render every registered figure from ``store`` into ``out_dir``.
+
+    One uniform parameter set feeds the whole registry;
+    :func:`~repro.figures.registry.render_figure` routes each figure the
+    subset it declares.  ``sizes``/``n_nodes`` left as ``None`` means the
+    figure generators' own defaults (CI passes the miniature scales).
+    """
+    out = Path(out_dir)
+    data_dir = out / "data"
+    data_dir.mkdir(parents=True, exist_ok=True)
+
+    kwargs: Dict[str, Any] = {
+        "store": store,
+        "seed": seed,
+        "sizes": None if sizes is None else [int(s) for s in sizes],
+        "n_nodes": n_nodes,
+        "repetitions": repetitions,
+        "workers": workers,
+        "universe": universe,
+    }
+    summary = ReportSummary(out_dir=out, html_path=out / "report.html")
+    figures: List[Tuple[str, FigureResult]] = []
+    for name in figure_names():
+        try:
+            figures.append((name, render_figure(name, **kwargs)))
+        except (FigureUnavailable, MissingResultError) as exc:
+            summary.skipped[name] = str(exc)
+            continue
+        summary.rendered.append(name)
+
+    for name, figure in figures:
+        data_path = data_dir / f"{name}.json"
+        payload = {
+            "name": name,
+            "figure_id": figure.figure_id,
+            "title": figure.title,
+            "rows": figure.rows,
+            "series": {key: list(map(list, val)) for key, val in figure.series.items()},
+            "notes": figure.notes,
+            "meta": figure.meta,
+        }
+        with data_path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        summary.data_files.append(data_path)
+
+    bench_rows = (
+        bench_trend_rows(load_bench_summaries(bench_dir))
+        if bench_dir is not None
+        else []
+    )
+    document = _render_html(
+        title=title,
+        figures=figures,
+        skipped=summary.skipped,
+        bench_rows=bench_rows,
+        store=store,
+    )
+    with summary.html_path.open("w", encoding="utf-8") as handle:
+        handle.write(document)
+    return summary
+
+
+# --------------------------------------------------------------------------- #
+# HTML assembly
+# --------------------------------------------------------------------------- #
+_CSS = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 64em;
+       color: #222; line-height: 1.45; }
+h1 { border-bottom: 2px solid #0072b2; padding-bottom: 0.2em; }
+h2 { margin-top: 2em; border-bottom: 1px solid #ccc; padding-bottom: 0.15em; }
+table { border-collapse: collapse; margin: 0.8em 0; font-size: 0.9em; }
+th, td { border: 1px solid #bbb; padding: 0.25em 0.6em; text-align: right; }
+th { background: #eef3f7; }
+td:first-child, th:first-child { text-align: left; }
+.meta { color: #666; font-size: 0.85em; }
+.skipped { color: #884400; }
+.figure-block { margin-bottom: 2.5em; }
+"""
+
+
+def _format_cell(value: Any) -> str:
+    """One table cell: floats at a readable fixed precision, rest verbatim."""
+    if isinstance(value, bool) or value is None:
+        return html.escape(str(value))
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return html.escape(str(value))
+
+
+def _html_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Rows of dicts to an HTML table (columns in first-seen order)."""
+    if not rows:
+        return "<p class=\"meta\">(no rows)</p>"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    parts = ["<table>", "<tr>"]
+    parts.extend(f"<th>{html.escape(str(col))}</th>" for col in columns)
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        parts.extend(f"<td>{_format_cell(row.get(col, ''))}</td>" for col in columns)
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _figure_chart(figure: FigureResult) -> str:
+    """The figure's inline SVG: line chart for curves, bars for single points."""
+    series = {name: list(values) for name, values in figure.series.items() if values}
+    if not series:
+        return ""
+    if max(len(values) for values in series.values()) > 1:
+        return svg_line_chart(series, title=figure.title)
+    bars = [(name, float(values[0][1])) for name, values in series.items()]
+    return svg_bar_chart(bars, title=figure.title)
+
+
+def _render_html(
+    *,
+    title: str,
+    figures: List[Tuple[str, FigureResult]],
+    skipped: Dict[str, str],
+    bench_rows: List[Dict[str, Any]],
+    store: BaseResultStore,
+) -> str:
+    parts = [
+        "<!DOCTYPE html>",
+        "<html lang=\"en\"><head><meta charset=\"utf-8\"/>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+    ]
+
+    # -- figure index ------------------------------------------------------ #
+    parts.append("<h2>Figures</h2><ul>")
+    for name, figure in figures:
+        parts.append(
+            f'<li><a href="#{html.escape(name)}">{html.escape(name)}</a> '
+            f"&mdash; {html.escape(figure.title)}</li>"
+        )
+    for name in skipped:
+        spec = get_figure(name)
+        parts.append(
+            f'<li class="skipped">{html.escape(name)} &mdash; '
+            f"{html.escape(spec.title)} (skipped)</li>"
+        )
+    parts.append("</ul>")
+
+    # -- benchmark trajectory ---------------------------------------------- #
+    if bench_rows:
+        parts.append("<h2>Benchmark trajectory</h2>")
+        table_rows = [
+            {
+                "commit": row["git_sha"],
+                "benchmark": row["benchmark"],
+                "mean_s": row["mean_s"],
+                "change": "" if row["change"] is None else f"{row['change']:+.1%}",
+            }
+            for row in bench_rows
+        ]
+        parts.append(_html_table(table_rows))
+
+    # -- one section per figure -------------------------------------------- #
+    for name, figure in figures:
+        parts.append(f'<div class="figure-block" id="{html.escape(name)}">')
+        parts.append(
+            f"<h2>{html.escape(name)}: {html.escape(figure.title)}</h2>"
+        )
+        spec = get_figure(name)
+        if spec.description:
+            parts.append(f"<p>{html.escape(spec.description)}</p>")
+        if figure.meta:
+            meta = ", ".join(f"{k}={v}" for k, v in sorted(figure.meta.items()))
+            parts.append(f'<p class="meta">{html.escape(meta)}</p>')
+        chart = _figure_chart(figure)
+        if chart:
+            parts.append(chart)
+        parts.append(_html_table(figure.rows))
+        if figure.notes:
+            parts.append(f'<p class="meta">{html.escape(figure.notes)}</p>')
+        parts.append("</div>")
+
+    # -- skipped figures, with reasons -------------------------------------- #
+    if skipped:
+        parts.append("<h2>Skipped figures</h2><ul>")
+        for name, reason in skipped.items():
+            parts.append(
+                f'<li class="skipped"><b>{html.escape(name)}</b>: '
+                f"{html.escape(reason)}</li>"
+            )
+        parts.append("</ul>")
+
+    # -- store inventory (counts only: no timestamps, keeps output stable) -- #
+    counts: Dict[str, int] = {}
+    for entry in store.entries():
+        counts[entry.kind] = counts.get(entry.kind, 0) + 1
+    parts.append("<h2>Store inventory</h2>")
+    parts.append(
+        _html_table(
+            [{"kind": kind, "documents": counts[kind]} for kind in sorted(counts)]
+        )
+    )
+    parts.append("</body></html>")
+    return "\n".join(parts)

@@ -124,10 +124,23 @@ class QuantileSketch:
     weights: List[int] = field(default_factory=list)
     #: Whether any lossy compression has happened (sticky).
     compressed: bool = False
+    #: Exact extremes of every inserted sample.  Compression replaces tail
+    #: samples with centroid means, so the centroid range understates the
+    #: true range; these survive ``add``/``merge``/serialisation and pin
+    #: ``percentile(0)``/``percentile(100)``.
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
 
     def __post_init__(self) -> None:
         if self.capacity < 2:
             raise ValueError(f"capacity must be >= 2, got {self.capacity}")
+        if self.values:
+            # Direct construction from bare centroids (e.g. a payload
+            # written before the extremes were recorded): the centroid
+            # range is the best available bound -- and exact whenever the
+            # sketch is uncompressed.
+            self.minimum = min(self.minimum, min(self.values))
+            self.maximum = max(self.maximum, max(self.values))
 
     # -- ingestion ------------------------------------------------------- #
     @property
@@ -149,12 +162,16 @@ class QuantileSketch:
         fresh = [float(v) for v in samples]
         if not fresh:
             return
+        self.minimum = min(self.minimum, min(fresh))
+        self.maximum = max(self.maximum, max(fresh))
         self.values.extend(fresh)
         self.weights.extend([1] * len(fresh))
         self._normalise()
 
     def merge(self, other: "QuantileSketch") -> None:
         """Fold another sketch in; exactness survives while sizes allow it."""
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
         self.values.extend(other.values)
         self.weights.extend(int(w) for w in other.weights)
         self.compressed = self.compressed or other.compressed
@@ -177,12 +194,18 @@ class QuantileSketch:
 
         Exact mode delegates to ``numpy.percentile`` over the raw samples;
         compressed mode interpolates over the expanded weighted centroids
-        without materialising them.
+        without materialising them, with the tails pinned to the exact
+        extremes (``np.interp`` alone would clamp ``q -> 0/100`` to the
+        first/last *centroid mean*, shrinking the reported range).
         """
         if not self.values:
             return 0.0
         if not self.compressed:
             return float(np.percentile(np.asarray(self.values, dtype=float), q))
+        if float(q) <= 0.0:
+            return float(self.minimum)
+        if float(q) >= 100.0:
+            return float(self.maximum)
         values = np.asarray(self.values, dtype=float)
         weights = np.asarray(self.weights, dtype=np.float64)
         total = weights.sum()
@@ -221,16 +244,26 @@ class QuantileSketch:
             "values": list(self.values),
             "weights": list(self.weights),
             "compressed": self.compressed,
+            "minimum": None if not self.values else self.minimum,
+            "maximum": None if not self.values else self.maximum,
         }
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "QuantileSketch":
-        """Rebuild from :meth:`to_dict` output (exact round trip)."""
+        """Rebuild from :meth:`to_dict` output (exact round trip).
+
+        Payloads written before the exact extremes were recorded load with
+        the centroid range as fallback (``__post_init__`` derives it).
+        """
+        minimum = payload.get("minimum")
+        maximum = payload.get("maximum")
         return QuantileSketch(
             capacity=int(payload["capacity"]),
             values=[float(v) for v in payload["values"]],
             weights=[int(w) for w in payload["weights"]],
             compressed=bool(payload["compressed"]),
+            minimum=float("inf") if minimum is None else float(minimum),
+            maximum=float("-inf") if maximum is None else float(maximum),
         )
 
 

@@ -1,0 +1,122 @@
+"""Benchmark-trajectory analysis: ordering, baselines and unusable means."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import bench_trend_rows, load_bench_summaries
+
+
+def summary(sha, created, benches):
+    return {
+        "schema": 1,
+        "git_sha": sha,
+        "created": created,
+        "benchmarks": [
+            {"name": name, "mean_s": mean, "stddev_s": 0.0, "min_s": mean, "rounds": 3}
+            for name, mean in benches
+        ],
+    }
+
+
+def write(tmp_path, filename, payload):
+    path = tmp_path / filename
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestLoadBenchSummaries:
+    def test_orders_by_embedded_created_not_filename(self, tmp_path):
+        write(tmp_path, "BENCH_zzz.json",
+              summary("zzz", "2026-01-01T00:00:00+00:00", [("b", 1.0)]))
+        write(tmp_path, "BENCH_aaa.json",
+              summary("aaa", "2026-02-01T00:00:00+00:00", [("b", 2.0)]))
+        loaded = load_bench_summaries(tmp_path)
+        assert [s["git_sha"] for s in loaded] == ["zzz", "aaa"]
+
+    def test_skips_summaries_without_created(self, tmp_path):
+        # Under the old bare string sort a timestampless summary collapsed
+        # to "" (oldest) and silently became everyone's baseline.
+        payload = summary("bad", "", [("b", 99.0)])
+        write(tmp_path, "BENCH_bad.json", payload)
+        del payload["created"]
+        write(tmp_path, "BENCH_absent.json", payload)
+        write(tmp_path, "BENCH_good.json",
+              summary("good", "2026-01-01T00:00:00+00:00", [("b", 1.0)]))
+        loaded = load_bench_summaries(tmp_path)
+        assert [s["git_sha"] for s in loaded] == ["good"]
+
+    def test_skips_unreadable_and_non_summary_files(self, tmp_path):
+        (tmp_path / "BENCH_junk.json").write_text("{not json", encoding="utf-8")
+        write(tmp_path, "BENCH_other.json", {"created": "2026-01-01", "foo": 1})
+        write(tmp_path, "BENCH_ok.json",
+              summary("ok", "2026-01-01T00:00:00+00:00", [("b", 1.0)]))
+        assert [s["git_sha"] for s in load_bench_summaries(tmp_path)] == ["ok"]
+
+    def test_agrees_with_the_check_gate_discovery(self, tmp_path):
+        # The regression gate in benchmarks/run_benchmarks.py applies the
+        # same skip rule; both must pick the same "most recent previous".
+        import importlib.util
+        from pathlib import Path
+
+        script = Path(__file__).parent.parent / "benchmarks" / "run_benchmarks.py"
+        spec = importlib.util.spec_from_file_location("run_benchmarks", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        write(tmp_path, "BENCH_old.json",
+              summary("old", "2026-01-01T00:00:00+00:00", [("b", 1.0)]))
+        write(tmp_path, "BENCH_new.json",
+              summary("new", "2026-03-01T00:00:00+00:00", [("b", 2.0)]))
+        write(tmp_path, "BENCH_stamp.json", summary("stampless", "", [("b", 9.0)]))
+        previous = module.find_previous_summary(tmp_path, "BENCH_current.json")
+        assert previous["git_sha"] == "new"
+        assert load_bench_summaries(tmp_path)[-1]["git_sha"] == "new"
+
+
+class TestBenchTrendRows:
+    def test_first_appearance_has_no_change(self):
+        rows = bench_trend_rows([summary("a", "t1", [("b", 1.0)])])
+        assert rows == [{"git_sha": "a", "created": "t1", "benchmark": "b",
+                         "mean_s": 1.0, "change": None}]
+
+    def test_change_against_previous_run(self):
+        rows = bench_trend_rows([
+            summary("a", "t1", [("b", 1.0)]),
+            summary("c", "t2", [("b", 1.5)]),
+        ])
+        assert rows[1]["change"] == pytest.approx(0.5)
+
+    def test_zero_mean_never_becomes_the_baseline(self):
+        # A failed run records mean_s == 0.0; the next real run must diff
+        # against the last *real* mean, not show a bogus infinite jump.
+        rows = bench_trend_rows([
+            summary("a", "t1", [("b", 2.0)]),
+            summary("c", "t2", [("b", 0.0)]),
+            summary("d", "t3", [("b", 3.0)]),
+        ])
+        assert rows[1]["change"] is None
+        assert rows[2]["change"] == pytest.approx(0.5)
+
+    def test_non_finite_and_malformed_means_are_unusable(self):
+        bad = summary("c", "t2", [("b", float("nan"))])
+        worse = summary("d", "t3", [("b", 1.0)])
+        worse["benchmarks"][0]["mean_s"] = "not-a-number"
+        rows = bench_trend_rows([
+            summary("a", "t1", [("b", 4.0)]),
+            bad,
+            worse,
+            summary("e", "t4", [("b", 2.0)]),
+        ])
+        assert rows[1]["change"] is None
+        assert rows[2]["change"] is None
+        assert rows[3]["change"] == pytest.approx(-0.5)
+
+    def test_skipped_benchmark_does_not_break_the_chain(self):
+        rows = bench_trend_rows([
+            summary("a", "t1", [("b", 1.0), ("other", 5.0)]),
+            summary("c", "t2", [("other", 5.0)]),
+            summary("d", "t3", [("b", 2.0), ("other", 5.0)]),
+        ])
+        b_rows = [row for row in rows if row["benchmark"] == "b"]
+        assert b_rows[1]["change"] == pytest.approx(1.0)

@@ -1,5 +1,7 @@
 """Tests for the multi-channel universe: spec, planning, execution, runner."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -138,7 +140,13 @@ class TestExecution:
 
     def test_rep_dict_round_trip(self):
         rep = run_universe_rep(TINY, 1)
-        assert rep_from_dict(rep_to_dict(rep)) == rep
+        # The dict forms cover the raw outcome table only: the streaming
+        # aggregate block persists as a store-document sibling, not inside
+        # the rep payload, so the round trip reconstructs it as None.
+        assert rep.aggregates is not None
+        restored = rep_from_dict(rep_to_dict(rep))
+        assert restored.aggregates is None
+        assert restored == replace(rep, aggregates=None)
 
 
 class TestRunnerDeterminism:

@@ -168,6 +168,55 @@ class TestCompressedMode:
         assert first.values == second.values and first.weights == second.weights
 
 
+class TestTailClamping:
+    """Exact extremes survive compression, merging and serialisation.
+
+    Compression interpolates between centroid means, so without the
+    tracked extremes ``percentile(0)``/``percentile(100)`` would drift
+    inward toward the first/last centroid -- and the universe figures'
+    tail rows would under-report the worst zap time.
+    """
+
+    def test_compressed_tails_are_exact(self):
+        rng = np.random.default_rng(29)
+        samples = rng.exponential(4.0, size=20000).tolist()
+        sketch = sketch_of(samples, capacity=64)
+        assert sketch.compressed
+        assert sketch.percentile(0.0) == min(samples)
+        assert sketch.percentile(100.0) == max(samples)
+
+    def test_tails_clamp_out_of_range_queries(self):
+        sketch = sketch_of([1.0, 2.0, 3.0] * 200, capacity=16)
+        assert sketch.percentile(-5.0) == 1.0
+        assert sketch.percentile(250.0) == 3.0
+
+    def test_merge_takes_the_extremes_of_both_sides(self):
+        low = sketch_of(list(np.linspace(0.5, 10.0, 500)), capacity=32)
+        high = sketch_of(list(np.linspace(20.0, 99.5, 500)), capacity=32)
+        low.merge(high)
+        assert low.percentile(0.0) == 0.5
+        assert low.percentile(100.0) == 99.5
+
+    def test_extremes_round_trip_through_json(self):
+        rng = np.random.default_rng(31)
+        sketch = sketch_of(rng.gamma(2.0, 3.0, size=5000).tolist(), capacity=64)
+        rebuilt = QuantileSketch.from_dict(json.loads(json.dumps(sketch.to_dict())))
+        assert rebuilt.minimum == sketch.minimum
+        assert rebuilt.maximum == sketch.maximum
+        assert rebuilt.percentile(0.0) == sketch.percentile(0.0)
+        assert rebuilt.percentile(100.0) == sketch.percentile(100.0)
+
+    def test_legacy_payload_without_extremes_falls_back_to_centroids(self):
+        # Payloads written before the extremes existed must still load;
+        # the bounds degrade to the surviving centroid means.
+        sketch = sketch_of([float(v) for v in range(1000)], capacity=32)
+        payload = sketch.to_dict()
+        del payload["minimum"], payload["maximum"]
+        rebuilt = QuantileSketch.from_dict(payload)
+        assert rebuilt.percentile(0.0) == min(rebuilt.values)
+        assert rebuilt.percentile(100.0) == max(rebuilt.values)
+
+
 class TestSerialisation:
     def test_json_round_trip_exact(self):
         rng = np.random.default_rng(21)
