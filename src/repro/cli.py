@@ -77,13 +77,28 @@ Installed as ``repro-gossip`` (and the shorter alias ``repro``; see
     fabric instead of the paper's ideal zero-latency network; ``run`` and
     ``compare`` then also print the per-region switch-time breakdown.
 
-``trace``
-    Generate a synthetic clip2/DSS-style overlay trace file.
+``trace overlay PATH`` / ``trace run``
+    ``overlay`` generates a synthetic clip2/DSS-style overlay trace
+    file.  ``run`` executes one instrumented simulation under the
+    observability layer (:mod:`repro.obs`) and writes a Chrome
+    trace-event file (``--out``, loadable in ``chrome://tracing`` or
+    https://ui.perfetto.dev) plus a per-span timing table.
 
 ``run``, ``compare``, ``workload run|compare``, ``universe run|compare``
 and ``scenario`` accept ``--engine {oracle,vector}`` to pick the
 simulation core: the per-peer object engine (the reference) or the
 NumPy array engine (faster, bit-identical -- see docs/architecture.md).
+The same commands accept ``--telemetry`` (collect metrics and spans;
+persisted beside the results as a ``telemetry-*`` store document when a
+results directory is configured) and ``--trace-out PATH`` (also write
+the Chrome trace-event file).  Telemetry never changes simulation
+results: documents and fingerprints are byte-identical with it on or
+off.
+
+``--log-level {debug,info,warning,error}`` (global) configures the
+stdlib logging of the ``repro.*`` loggers on stderr -- worker respawn
+and retry warnings from the sharded runtime land there, never in the
+JSON output on stdout.
 
 The results directory may also be set via the ``REPRO_RESULTS_DIR``
 environment variable (the ``--results-dir`` flag wins).
@@ -93,6 +108,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -130,6 +146,11 @@ from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["main", "build_parser"]
 
+_LOG = logging.getLogger("repro.cli")
+
+#: ``--log-level`` choices, lowercase on the command line.
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
 
 #: Figures backed by a size sweep (accept ``sizes``/``repetitions``/``workers``).
 _SWEEP_FIGURES = {"6", "7", "8", "10", "11", "12"}
@@ -148,7 +169,7 @@ def _positive_int(value: str) -> int:
 
 #: Document kinds ``store ls --kind`` accepts; ``run`` is the
 #: user-facing alias of the on-disk ``pair`` kind.
-_STORE_KINDS = ("run", "pair", "workload", "universe", "net", "sweep")
+_STORE_KINDS = ("run", "pair", "workload", "universe", "net", "sweep", "telemetry")
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
@@ -175,6 +196,19 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
                         help="simulation core: the per-peer object engine "
                              "('oracle') or the bit-identical NumPy array "
                              "engine ('vector'); default: oracle")
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared telemetry options to a sub-command."""
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect metrics and trace spans for this run; "
+                             "persisted as a telemetry-* store document when a "
+                             "results directory is configured (results stay "
+                             "byte-identical either way)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="also write the run's Chrome trace-event file "
+                             "here (implies --telemetry; load it in "
+                             "chrome://tracing or ui.perfetto.dev)")
 
 
 def _package_version() -> str:
@@ -214,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {_package_version()}")
+    parser.add_argument("--log-level", choices=_LOG_LEVELS, default="warning",
+                        help="stdlib logging level for the repro.* loggers "
+                             "on stderr (default: warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure's data")
@@ -291,6 +328,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true")
     _add_topology_argument(run)
     _add_engine_argument(run)
+    _add_telemetry_arguments(run)
+    _add_store_arguments(run)
 
     cmp_parser = sub.add_parser("compare", help="paired fast-vs-normal comparison")
     cmp_parser.add_argument("--n-nodes", type=int, default=200)
@@ -300,6 +339,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--json", action="store_true")
     _add_topology_argument(cmp_parser)
     _add_engine_argument(cmp_parser)
+    _add_telemetry_arguments(cmp_parser)
+    _add_store_arguments(cmp_parser)
 
     workload = sub.add_parser(
         "workload", help="list or run the time-scripted workloads"
@@ -327,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
         workload_run.add_argument("--json", action="store_true")
         _add_topology_argument(workload_run)
         _add_engine_argument(workload_run)
+        _add_telemetry_arguments(workload_run)
         _add_store_arguments(workload_run)
 
     universe = sub.add_parser(
@@ -364,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
         universe_run.add_argument("--json", action="store_true")
         _add_topology_argument(universe_run)
         _add_engine_argument(universe_run)
+        _add_telemetry_arguments(universe_run)
         _add_store_arguments(universe_run)
 
     scen = sub.add_parser("scenario", help="run a named example scenario")
@@ -379,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--json", action="store_true")
     _add_topology_argument(scen)
     _add_engine_argument(scen)
+    _add_telemetry_arguments(scen)
     _add_store_arguments(scen)
 
     net = sub.add_parser("net", help="inspect the network-topology library")
@@ -389,11 +433,34 @@ def build_parser() -> argparse.ArgumentParser:
     net_show.add_argument("name", choices=topology_names())
     net_show.add_argument("--json", action="store_true")
 
-    trace = sub.add_parser("trace", help="generate a synthetic overlay trace file")
-    trace.add_argument("path", help="output file path")
-    trace.add_argument("--n-nodes", type=int, default=1000)
-    trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--mean-degree", type=float, default=2.0)
+    trace = sub.add_parser(
+        "trace", help="overlay trace files and run-telemetry traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_overlay = trace_sub.add_parser(
+        "overlay", help="generate a synthetic overlay trace file"
+    )
+    trace_overlay.add_argument("path", help="output file path")
+    trace_overlay.add_argument("--n-nodes", type=int, default=1000)
+    trace_overlay.add_argument("--seed", type=int, default=0)
+    trace_overlay.add_argument("--mean-degree", type=float, default=2.0)
+    trace_run = trace_sub.add_parser(
+        "run",
+        help="run one instrumented simulation and write a Chrome "
+             "trace-event file (chrome://tracing / ui.perfetto.dev)",
+    )
+    trace_run.add_argument("--out", default="trace.json",
+                           help="Chrome trace-event output path "
+                                "(default: ./trace.json)")
+    trace_run.add_argument("--algorithm", choices=["fast", "normal"], default="fast")
+    trace_run.add_argument("--n-nodes", type=int, default=200)
+    trace_run.add_argument("--seed", type=int, default=0)
+    trace_run.add_argument("--dynamic", action="store_true",
+                           help="enable 5%% churn per period")
+    trace_run.add_argument("--max-time", type=float, default=120.0)
+    trace_run.add_argument("--json", action="store_true")
+    _add_topology_argument(trace_run)
+    _add_engine_argument(trace_run)
 
     bench = sub.add_parser("bench", help="inspect the benchmark trajectory")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -866,7 +933,7 @@ def _cmd_universe(args: argparse.Namespace) -> int:
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
     scenario = SCENARIOS[args.name]
-    print(f"scenario: {scenario.name} -- {scenario.description}", file=sys.stderr)
+    _LOG.info("scenario: %s -- %s", scenario.name, scenario.description)
     return _run_workload_spec(scenario.spec(), args)
 
 
@@ -927,10 +994,58 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "run":
+        return _cmd_trace_run(args)
     records = generate_trace(args.n_nodes, seed=args.seed, mean_degree=args.mean_degree)
     write_trace(records, args.path,
                 header=f"synthetic trace: n={args.n_nodes} seed={args.seed}")
     print(f"wrote {len(records)} records to {args.path}")
+    return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    from repro.obs import telemetry_session, write_chrome_trace
+
+    config = make_session_config(
+        args.n_nodes,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        dynamic=args.dynamic,
+        max_time=args.max_time,
+        topology=args.topology or "",
+        **({"engine": args.engine} if args.engine else {}),
+    )
+    with telemetry_session() as telemetry:
+        run_single(config)
+    identity = {
+        "kind": "run",
+        "name": f"trace-{args.algorithm}",
+        "n_nodes": args.n_nodes,
+        "seed": args.seed,
+    }
+    write_chrome_trace(telemetry, args.out, run=identity)
+    stats = telemetry.tracer.span_stats()
+    n_events = len(telemetry.tracer.events())
+    if args.json:
+        print(json.dumps({
+            "out": str(args.out),
+            "events": n_events,
+            "spans": stats,
+            "counters": telemetry.registry.snapshot()["counters"],
+        }, indent=2))
+        return 0
+    rows = [
+        {
+            "span": name,
+            "count": stat["count"],
+            "total_s": round(stat["total_s"], 4),
+            "mean_ms": round(stat["mean_s"] * 1e3, 3),
+            "p95_ms": round(stat["p95_s"] * 1e3, 3),
+        }
+        for name, stat in stats.items()
+    ]
+    print(format_table(rows))
+    print(f"\nwrote {n_events} trace events to {args.out}")
     return 0
 
 
@@ -950,11 +1065,65 @@ _COMMANDS = {
 }
 
 
+def _run_identity(args: argparse.Namespace) -> dict:
+    """The run-identity payload ``telemetry-*`` documents are keyed by.
+
+    Identity, not content: two invocations with the same command line map
+    to the same telemetry key, so a re-run refreshes its document in
+    place instead of accumulating one per execution.
+    """
+    identity = {
+        "kind": args.command,
+        "name": getattr(args, "name", None) or args.command,
+    }
+    for key in ("workload_command", "universe_command", "algorithm", "engine",
+                "topology", "n_nodes", "channels", "viewers", "seed",
+                "repetitions", "workers", "shards", "dynamic"):
+        value = getattr(args, key, None)
+        if value is not None and value is not False:
+            identity[key] = value
+    return identity
+
+
+def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Persist/export one enabled run's telemetry (after a clean exit)."""
+    from repro.obs import write_chrome_trace
+    from repro.experiments.store import persist_telemetry_document
+
+    identity = _run_identity(args)
+    if getattr(args, "trace_out", None):
+        write_chrome_trace(telemetry, args.trace_out, run=identity)
+        _LOG.info("wrote Chrome trace to %s", args.trace_out)
+    if getattr(args, "from_store", False):
+        return  # replay-only invocations never write to the store
+    store = _resolve_store(args) if hasattr(args, "results_dir") else None
+    if store is not None:
+        key = persist_telemetry_document(store, run=identity, telemetry=telemetry)
+        _LOG.info("telemetry persisted as %s", key)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
+    telemetry_on = bool(
+        getattr(args, "telemetry", False) or getattr(args, "trace_out", None)
+    )
+    if not telemetry_on:
+        return _COMMANDS[args.command](args)
+    from repro.obs import telemetry_session
+
+    with telemetry_session() as telemetry:
+        code = _COMMANDS[args.command](args)
+    if code == 0:
+        _export_telemetry(args, telemetry)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -46,6 +46,7 @@ from repro.core.model import optimal_split
 from repro.core.normal_switch import NormalSwitchAlgorithm
 from repro.core.priority import URGENCY_CAP, PriorityPolicy
 from repro.net.fabric import IdealFabric
+from repro.obs.telemetry import get_telemetry
 from repro.streaming.buffer import SegmentBuffer
 from repro.streaming.buffermap import UNBOUNDED_CAPACITY, buffer_map_bits
 from repro.streaming.peer import PeerNode
@@ -312,6 +313,7 @@ class VectorSwitchSession(SwitchSession):
             if peer.switch_plan is not None and peer.has_new_data
         )
         decisions: Dict[int, ScheduleDecision] = {}
+        vectorised = fallbacks = 0
         old_err = np.seterr(divide="ignore")
         try:
             for node_id in order:
@@ -323,12 +325,18 @@ class VectorSwitchSession(SwitchSession):
                     kind = "normal"
                 else:
                     # Unsupported algorithm: scalar path, identical draws.
+                    fallbacks += 1
                     snapshots = self._pull_buffer_maps(peer)
                     decisions[node_id] = peer.decide(snapshots, now)
                     continue
+                vectorised += 1
                 decisions[node_id] = self._vector_decide(peer, kind, now, announcers)
         finally:
             np.seterr(**old_err)
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.counter("engine.dispatch.vector").add(vectorised)
+            obs.counter("engine.dispatch.scalar_fallback").add(fallbacks)
         return decisions
 
     def _survivors_of(self, peer: PeerNode) -> _Survivors:

@@ -33,6 +33,7 @@ production runs leave it ``None``.  The hook must be picklable
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import queue as queue_module
 import time
@@ -40,7 +41,11 @@ import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro.obs.telemetry import get_telemetry
+
 __all__ = ["ShardFailure", "ShardExecutionError", "WorkerPool"]
+
+_LOG = logging.getLogger("repro.dist.pool")
 
 #: Seconds the parent blocks on the result queue before checking liveness.
 _POLL_INTERVAL: float = 0.2
@@ -59,10 +64,13 @@ class ShardFailure:
     worker_id: int
     error: str
     last_heartbeat: str
+    heartbeat_age_s: Optional[float] = None
 
     def describe(self) -> str:
         """One-line human summary."""
         where = f" at {self.last_heartbeat}" if self.last_heartbeat else ""
+        if self.heartbeat_age_s is not None:
+            where += f" (last heartbeat {self.heartbeat_age_s:.1f}s ago)"
         return (
             f"shard {self.shard_id} attempt {self.attempt} on worker "
             f"{self.worker_id}{where}: {self.error}"
@@ -177,12 +185,17 @@ class WorkerPool:
         self.max_retries = int(max_retries)
         self.fault_hook = fault_hook
         self._heartbeats: Dict[int, Tuple[str, float]] = {}
+        self._worker_heartbeats: Dict[int, Tuple[str, float]] = {}
         self.failures: List[ShardFailure] = []
 
     # ------------------------------------------------------------------ #
     def last_heartbeat(self, shard_id: int) -> Optional[Tuple[str, float]]:
         """The latest ``(label, unix_time)`` heartbeat of one shard."""
         return self._heartbeats.get(shard_id)
+
+    def last_worker_heartbeat(self, worker_id: int) -> Optional[Tuple[str, float]]:
+        """The latest ``(label, unix_time)`` heartbeat posted by one worker."""
+        return self._worker_heartbeats.get(worker_id)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -196,6 +209,7 @@ class WorkerPool:
         """
         if not tasks:
             return
+        obs = get_telemetry()
         context = multiprocessing.get_context()
         result_queue: "multiprocessing.Queue" = context.Queue()
         pending: List[Tuple[int, Any]] = [(int(k), v) for k, v in tasks.items()]
@@ -203,20 +217,31 @@ class WorkerPool:
         shard_failures: Dict[int, List[ShardFailure]] = {}
         done: set = set()
         payloads: Dict[int, Any] = dict(pending)
+        assigned_at: Dict[int, float] = {}
         fleet: List[_Worker] = []
         next_worker_id = 0
 
-        def spawn() -> _Worker:
+        def spawn(*, respawn: bool = False) -> _Worker:
             nonlocal next_worker_id
             worker = _Worker(
                 context, next_worker_id, task_fn, self.fault_hook, result_queue
             )
             next_worker_id += 1
             fleet.append(worker)
+            if obs.enabled:
+                name = "pool.worker_respawn" if respawn else "pool.worker_spawn"
+                obs.event(name, tid=worker.worker_id, worker=worker.worker_id)
+                obs.counter(name).inc()
+            if respawn:
+                _LOG.warning("respawned dead worker as worker %d", worker.worker_id)
+            else:
+                _LOG.debug("spawned worker %d", worker.worker_id)
             return worker
 
         def record_failure(worker: _Worker, shard_id: int, error: str) -> ShardFailure:
             label, _ = self._heartbeats.get(shard_id, ("", 0.0))
+            beat = self._worker_heartbeats.get(worker.worker_id)
+            age = round(time.time() - beat[1], 3) if beat is not None else None
             attempts[shard_id] += 1
             failure = ShardFailure(
                 shard_id=shard_id,
@@ -224,14 +249,39 @@ class WorkerPool:
                 worker_id=worker.worker_id,
                 error=error,
                 last_heartbeat=label,
+                heartbeat_age_s=age,
             )
             shard_failures.setdefault(shard_id, []).append(failure)
             self.failures.append(failure)
+            _LOG.warning("shard failure: %s", failure.describe())
+            if obs.enabled:
+                obs.event(
+                    "pool.shard_failure",
+                    tid=worker.worker_id,
+                    shard=shard_id,
+                    attempt=attempts[shard_id],
+                    heartbeat=label,
+                )
+                obs.counter("pool.shard_failure").inc()
             return failure
 
         def retry_or_raise(shard_id: int) -> None:
             if attempts[shard_id] > self.max_retries:
+                _LOG.error(
+                    "shard %d exhausted %d retrie(s); giving up",
+                    shard_id,
+                    self.max_retries,
+                )
                 raise ShardExecutionError(shard_id, shard_failures[shard_id])
+            _LOG.warning(
+                "retrying shard %d (attempt %d of %d)",
+                shard_id,
+                attempts[shard_id] + 1,
+                self.max_retries + 1,
+            )
+            if obs.enabled:
+                obs.event("pool.shard_retry", shard=shard_id, attempt=attempts[shard_id] + 1)
+                obs.counter("pool.shard_retry").inc()
             pending.append((shard_id, payloads[shard_id]))
 
         try:
@@ -245,6 +295,7 @@ class WorkerPool:
                     if worker.assigned is None and worker.alive():
                         shard_id, payload = pending.pop(0)
                         worker.assigned = shard_id
+                        assigned_at[shard_id] = time.perf_counter()
                         worker.task_queue.put((shard_id, payload))
                 try:
                     message = result_queue.get(timeout=_POLL_INTERVAL)
@@ -254,6 +305,11 @@ class WorkerPool:
                         if worker.alive():
                             continue
                         fleet.remove(worker)
+                        _LOG.warning(
+                            "worker %d died (assigned shard: %s)",
+                            worker.worker_id,
+                            worker.assigned,
+                        )
                         shard_id = worker.assigned
                         if shard_id is not None and shard_id not in done:
                             record_failure(
@@ -261,7 +317,7 @@ class WorkerPool:
                             )
                             retry_or_raise(shard_id)
                         if pending or any(w.assigned is not None for w in fleet):
-                            spawn()
+                            spawn(respawn=True)
                     continue
                 kind, worker_id, shard_id = message[0], message[1], message[2]
                 worker = next(
@@ -269,6 +325,9 @@ class WorkerPool:
                 )
                 if kind == "heartbeat":
                     self._heartbeats[shard_id] = (message[3], message[4])
+                    self._worker_heartbeats[worker_id] = (message[3], message[4])
+                    if obs.enabled:
+                        obs.counter("pool.heartbeats").inc()
                     continue
                 if worker is not None and worker.assigned == shard_id:
                     worker.assigned = None
@@ -276,6 +335,19 @@ class WorkerPool:
                     if shard_id in done:
                         continue  # duplicate from a retried shard
                     done.add(shard_id)
+                    if obs.enabled:
+                        begin = assigned_at.get(shard_id)
+                        if begin is not None:
+                            label, _ = self._heartbeats.get(shard_id, ("", 0.0))
+                            obs.complete_span(
+                                "shard.execute",
+                                begin,
+                                time.perf_counter(),
+                                tid=worker_id,
+                                shard=shard_id,
+                                label=label,
+                            )
+                        obs.counter("pool.shards_done").inc()
                     yield shard_id, message[3]
                 elif kind == "error":
                     if shard_id in done:

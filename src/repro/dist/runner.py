@@ -46,6 +46,7 @@ from repro.channels.universe import (
 from repro.dist.journal import ShardJournal
 from repro.dist.plan import ShardPlan, ShardUnit
 from repro.dist.pool import WorkerPool
+from repro.obs.telemetry import get_telemetry
 from repro.metrics.sketch import (
     DEFAULT_SKETCH_CAPACITY,
     QuantileSketch,
@@ -334,6 +335,16 @@ class ShardedExecutor:
                     results[shard_id] = replayed
                     self.journal_replayed += 1
 
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.counter("dist.shards.replayed").add(self.journal_replayed)
+            if self.journal_replayed:
+                obs.event(
+                    "dist.journal_replay",
+                    shards=self.journal_replayed,
+                    needed=len(needed),
+                )
+
         tasks: Dict[int, Dict[str, Any]] = {
             shard_id: {
                 "spec": self.plan.spec.to_dict(),
@@ -344,6 +355,8 @@ class ShardedExecutor:
             for shard_id, units in needed.items()
             if shard_id not in results
         }
+        if obs.enabled:
+            obs.counter("dist.shards.computed").add(len(tasks))
 
         # Assemble repetitions incrementally: a rep is ready once all its
         # channels are collected; yield strictly in pending-seed order.

@@ -82,7 +82,7 @@ class SQLiteStore(BaseResultStore):
             connection.close()
 
     # -- backend primitives --------------------------------------------- #
-    def load(self, key: str) -> Optional[Dict[str, Any]]:
+    def _load_document(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` when absent.
 
         Mirrors the JSON backend's forgiveness: an unparsable or
@@ -106,7 +106,7 @@ class SQLiteStore(BaseResultStore):
             return None
         return payload
 
-    def save(self, key: str, payload: Mapping[str, Any]) -> Path:
+    def _save_document(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Persist ``payload`` under ``key``; returns the database path.
 
         The stored text is the same canonical ``sort_keys=True`` dump the

@@ -70,6 +70,7 @@ from typing import (
 from repro.churn.model import ChurnConfig
 from repro.metrics.report import metrics_from_dict, metrics_to_dict
 from repro.net.topology import NetTopology
+from repro.obs.telemetry import get_telemetry
 from repro.streaming.bandwidth import PeerClass
 from repro.streaming.segment import SwitchPlan
 from repro.streaming.session import SessionConfig, SessionResult
@@ -84,7 +85,9 @@ __all__ = [
     "pair_fingerprint",
     "sweep_fingerprint",
     "net_fingerprint",
+    "telemetry_fingerprint",
     "persist_net_document",
+    "persist_telemetry_document",
     "session_result_to_dict",
     "session_result_from_dict",
     "sweep_to_dict",
@@ -271,6 +274,52 @@ def sweep_fingerprint(
     )
 
 
+def telemetry_fingerprint(
+    run: Mapping[str, Any], *, version: Optional[str] = None
+) -> str:
+    """Stable store key of one run's telemetry document.
+
+    Keyed by the run's *identity* (kind, name, seed, ...) -- never by the
+    telemetry content -- so re-running the same configuration with
+    telemetry enabled refreshes one document instead of accreting copies,
+    and enabling telemetry can never rotate any result fingerprint.
+    """
+    return "telemetry-" + stable_hash(
+        {
+            "kind": "telemetry",
+            "schema": SCHEMA_VERSION,
+            "code_version": version if version is not None else code_version(),
+            "run": dict(run),
+        }
+    )
+
+
+def persist_telemetry_document(
+    store: Optional["BaseResultStore"],
+    *,
+    run: Mapping[str, Any],
+    telemetry: Optional[Any] = None,
+) -> Optional[str]:
+    """Persist the active telemetry beside a run's result documents.
+
+    Called by the CLI after a ``--telemetry`` run: snapshots the given (or
+    active) telemetry into a ``telemetry-*`` document under
+    :func:`telemetry_fingerprint` and returns the key.  A disabled
+    telemetry or storeless run persists nothing (returns ``None``) -- the
+    default path stays byte-identical to a build without this module.
+    """
+    if store is None:
+        return None
+    handle = telemetry if telemetry is not None else get_telemetry()
+    if not handle.enabled:
+        return None
+    from repro.obs.export import build_telemetry_document
+
+    key = telemetry_fingerprint(run)
+    store.save_telemetry(key, build_telemetry_document(handle, run=run))
+    return key
+
+
 # --------------------------------------------------------------------------- #
 # result serialisation
 # --------------------------------------------------------------------------- #
@@ -366,6 +415,14 @@ def _describe(document: Mapping[str, Any]) -> str:
         topology = document.get("topology", {})
         regions = [r.get("name") for r in topology.get("regions", [])]
         return f"topology={topology.get('name')} regions={','.join(map(str, regions))}"
+    if kind == "telemetry":
+        run = document.get("run", {})
+        trace = document.get("trace", {})
+        return (
+            f"run={run.get('kind')}:{run.get('name', '?')} "
+            f"spans={len(document.get('spans', {}))} "
+            f"events={trace.get('events', 0)}"
+        )
     return ""
 
 
@@ -430,18 +487,41 @@ class BaseResultStore:
         self.replay_only = bool(replay_only)
         self.root.mkdir(parents=True, exist_ok=True)
 
-    # -- backend primitives --------------------------------------------- #
+    # -- instrumented read/write entry points ---------------------------- #
     def load(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` when absent.
 
         Corrupt or unreadable documents are treated as misses rather than
-        errors: the result is simply recomputed and rewritten.
+        errors: the result is simply recomputed and rewritten.  Every read
+        funnels through here, so one span/counter update per document
+        covers both backends (a no-op while telemetry is disabled).
         """
-        raise NotImplementedError
+        obs = get_telemetry()
+        if not obs.enabled:
+            return self._load_document(key)
+        with obs.span("store.load", backend=self.backend, key=key):
+            payload = self._load_document(key)
+        obs.counter("store.load.hit" if payload is not None else "store.load.miss").inc()
+        return payload
 
     def save(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Atomically persist ``payload`` under ``key``; returns its path
         (the document file, or the database file on SQLite)."""
+        obs = get_telemetry()
+        if not obs.enabled:
+            return self._save_document(key, payload)
+        with obs.span("store.save", backend=self.backend, key=key):
+            path = self._save_document(key, payload)
+        obs.counter("store.save").inc()
+        return path
+
+    # -- backend primitives --------------------------------------------- #
+    def _load_document(self, key: str) -> Optional[Dict[str, Any]]:
+        """Backend read primitive behind :meth:`load`."""
+        raise NotImplementedError
+
+    def _save_document(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Backend write primitive behind :meth:`save`."""
         raise NotImplementedError
 
     def delete(self, key: str) -> bool:
@@ -586,6 +666,27 @@ class BaseResultStore:
             return None
         return NetTopology.from_dict(payload["topology"])
 
+    # -- telemetry documents ---------------------------------------------- #
+    def save_telemetry(self, key: str, payload: Mapping[str, Any]) -> Path:
+        """Persist one run's telemetry digest under ``key``.
+
+        ``payload`` is the JSON form produced by
+        :func:`repro.obs.export.build_telemetry_document`.  Telemetry
+        documents live *beside* result documents: nothing else references
+        them and no fingerprint covers their content, so they can be
+        deleted (or never written) without invalidating any result.
+        """
+        document = dict(payload)
+        document["kind"] = "telemetry"
+        return self.save(key, document)
+
+    def load_telemetry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The telemetry document stored under ``key`` (or ``None``)."""
+        payload = self.load(key)
+        if payload is None or payload.get("kind") != "telemetry":
+            return None
+        return payload
+
     # -- sweep documents ------------------------------------------------- #
     def save_sweep(self, key: str, sweep: "SizeSweepResult", params: Mapping[str, Any]) -> Path:
         """Persist one aggregated size sweep under ``key``."""
@@ -626,7 +727,7 @@ class ResultStore(BaseResultStore):
         """
         return self.root / f"{key}.meta.json"
 
-    def load(self, key: str) -> Optional[Dict[str, Any]]:
+    def _load_document(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` when absent.
 
         Corrupt or unreadable documents are treated as misses rather than
@@ -642,7 +743,7 @@ class ResultStore(BaseResultStore):
             return None
         return payload
 
-    def save(self, key: str, payload: Mapping[str, Any]) -> Path:
+    def _save_document(self, key: str, payload: Mapping[str, Any]) -> Path:
         """Atomically persist ``payload`` under ``key`` and return its path.
 
         A small metadata sidecar (see :meth:`meta_path_for`) is written
@@ -696,6 +797,7 @@ class ResultStore(BaseResultStore):
         "workload-*.json",
         "universe-*.json",
         "net-*.json",
+        "telemetry-*.json",
     )
 
     def _document_paths(self) -> List[Path]:

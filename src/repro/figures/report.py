@@ -197,6 +197,72 @@ def _figure_chart(figure: FigureResult) -> str:
     return svg_bar_chart(bars, title=figure.title)
 
 
+def _telemetry_section(store: BaseResultStore) -> List[str]:
+    """The "Run telemetry" section: one block per ``telemetry-*`` document.
+
+    Each block shows the run's period-phase timing profile (span
+    durations, bar chart + table), its per-shard execution spans when the
+    run went through the sharded runtime, and the counter snapshot.
+    Stores without telemetry documents render nothing -- the section only
+    appears for instrumented runs (``--telemetry``).
+    """
+    entries = store.entries(kind="telemetry")
+    if not entries:
+        return []
+    parts = ["<h2>Run telemetry</h2>"]
+    for entry in entries:
+        document = store.load_telemetry(entry.key)
+        if document is None:
+            continue
+        run = document.get("run", {})
+        label = ", ".join(
+            f"{key}={run[key]}" for key in sorted(run) if key != "kind"
+        ) or entry.key
+        parts.append('<div class="figure-block">')
+        parts.append(f"<h3>{html.escape(str(run.get('kind', 'run')))}: "
+                     f"{html.escape(label)}</h3>")
+        spans = document.get("spans", {})
+        if spans:
+            bars = [
+                (name, float(stat.get("total_s", 0.0)))
+                for name, stat in sorted(spans.items())
+            ]
+            parts.append(svg_bar_chart(bars, title="Span time (total seconds)"))
+            parts.append(_html_table([
+                {
+                    "span": name,
+                    "count": stat.get("count", 0),
+                    "total_s": stat.get("total_s", 0.0),
+                    "mean_s": stat.get("mean_s", 0.0),
+                    "p95_s": stat.get("p95_s", 0.0),
+                }
+                for name, stat in sorted(spans.items())
+            ]))
+        shards = document.get("shards", [])
+        if shards:
+            parts.append("<h4>Per-shard execution</h4>")
+            bars = [
+                (f"shard {row.get('shard')} (w{row.get('worker')})",
+                 float(row.get("duration_s", 0.0)))
+                for row in shards
+            ]
+            parts.append(svg_bar_chart(bars, title="Shard wall time (seconds)"))
+            parts.append(_html_table(shards))
+        counters = document.get("counters", {})
+        if counters:
+            parts.append(_html_table([
+                {"counter": name, "value": value}
+                for name, value in sorted(counters.items())
+            ]))
+        trace = document.get("trace", {})
+        parts.append(
+            f'<p class="meta">trace events: {int(trace.get("events", 0))}'
+            f' (dropped {int(trace.get("dropped", 0))})</p>'
+        )
+        parts.append("</div>")
+    return parts
+
+
 def _render_html(
     *,
     title: str,
@@ -261,6 +327,9 @@ def _render_html(
         if figure.notes:
             parts.append(f'<p class="meta">{html.escape(figure.notes)}</p>')
         parts.append("</div>")
+
+    # -- run telemetry ------------------------------------------------------ #
+    parts.extend(_telemetry_section(store))
 
     # -- skipped figures, with reasons -------------------------------------- #
     if skipped:

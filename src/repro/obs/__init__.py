@@ -1,0 +1,78 @@
+"""Zero-overhead observability: metrics registry, span tracing, exporters.
+
+The package is the answer to "where does a period spend its time?" without
+ever taxing the answer's subject:
+
+* :mod:`repro.obs.metrics` -- counters, gauges and sketch-backed
+  histograms behind no-op-when-disabled handles;
+* :mod:`repro.obs.trace` -- ``trace_span``-style spans feeding both a
+  bounded Chrome trace-event buffer and a per-phase duration profile;
+* :mod:`repro.obs.telemetry` -- the process-local on/off switchboard
+  (:func:`get_telemetry` / :func:`telemetry_session`);
+* :mod:`repro.obs.export` -- the ``telemetry-*`` store-document digest
+  and the Perfetto-loadable Chrome trace file.
+
+Telemetry is off by default and provably inert: store documents and
+fingerprints are byte-identical with it on or off, and the disabled
+handles cost one attribute lookup per call site.
+
+Quick start::
+
+    from repro.obs import telemetry_session, write_chrome_trace
+
+    with telemetry_session() as tel:
+        result = SwitchSession(config).run()
+    print(tel.snapshot()["spans"])           # the phase profile
+    write_chrome_trace(tel, "trace.json")    # open in ui.perfetto.dev
+"""
+
+from repro.obs.export import (
+    build_telemetry_document,
+    chrome_trace_payload,
+    shard_span_rows,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    telemetry_session,
+)
+from repro.obs.trace import Span, Tracer
+
+
+def trace_span(name: str, *, tid: int = 0, **args):
+    """Time a block against the active telemetry (no-op when disabled).
+
+    The module-level convenience for call sites without a handle::
+
+        with trace_span("store.migrate", documents=n):
+            ...
+    """
+    return get_telemetry().span(name, tid=tid, **args)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "build_telemetry_document",
+    "chrome_trace_payload",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_telemetry",
+    "shard_span_rows",
+    "telemetry_session",
+    "trace_span",
+    "write_chrome_trace",
+]

@@ -1,0 +1,177 @@
+"""The metrics half of the observability layer: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a process-local bag of named instruments.
+Counters and gauges are plain Python numbers behind a ``__slots__`` object;
+histograms ride on the mergeable :class:`~repro.metrics.sketch.QuantileSketch`
+(exact below its capacity, deterministic compression above it) plus a
+:class:`~repro.metrics.sketch.StreamAccumulator` for the moments, so a
+telemetry document can report both percentiles and exact count/mean/extrema.
+
+Hot paths never test "is telemetry on?" around every update: when telemetry
+is disabled they hold the null instruments (:data:`NULL_COUNTER` and
+friends) whose update methods are empty -- one attribute lookup and a no-op
+call, nothing allocated, nothing recorded.  That is the "no-op-when-disabled
+handle" contract the rest of the package builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.metrics.sketch import QuantileSketch, StreamAccumulator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+
+class Counter:
+    """A monotonically increasing count (requests issued, events processed)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def add(self, amount: int) -> None:
+        """Alias of :meth:`inc` for bulk updates aggregated in a hot loop."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (live peers, pending shards)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A value distribution: sketch-backed percentiles plus exact moments."""
+
+    __slots__ = ("name", "sketch", "accumulator")
+
+    def __init__(self, name: str, *, sketch_capacity: Optional[int] = None) -> None:
+        self.name = name
+        self.sketch = (
+            QuantileSketch() if sketch_capacity is None
+            else QuantileSketch(capacity=sketch_capacity)
+        )
+        self.accumulator = StreamAccumulator()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.sketch.add(float(value))
+        self.accumulator.add(float(value))
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-friendly digest (what the telemetry document embeds)."""
+        acc = self.accumulator
+        if acc.count == 0:
+            return {"count": 0}
+        return {
+            "count": int(acc.count),
+            "mean": acc.mean,
+            "min": acc.minimum,
+            "max": acc.maximum,
+            "p50": self.sketch.percentile(50.0),
+            "p90": self.sketch.percentile(90.0),
+            "p99": self.sketch.percentile(99.0),
+        }
+
+
+class _NullCounter:
+    """No-op counter handed out while telemetry is disabled."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def add(self, amount: int) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = ""
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = ""
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0}
+
+
+#: Shared null instruments (stateless, so one of each suffices per process).
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and stable thereafter."""
+
+    def __init__(self, *, histogram_sketch_capacity: Optional[int] = None) -> None:
+        self._histogram_capacity = histogram_sketch_capacity
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(
+                name, sketch_capacity=self._histogram_capacity
+            )
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All instrument values as sorted JSON-friendly mappings."""
+        return {
+            "counters": {name: self.counters[name].value
+                         for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name].value
+                       for name in sorted(self.gauges)},
+            "histograms": {name: self.histograms[name].summary()
+                           for name in sorted(self.histograms)},
+        }

@@ -1,0 +1,158 @@
+"""Span tracing: the phase profiler behind the Chrome/Perfetto export.
+
+A :class:`Tracer` records two things per span:
+
+* a **trace event** in Chrome trace-event form (``ph="X"`` complete events
+  with microsecond ``ts``/``dur``, ``ph="i"`` instants), bounded by
+  ``max_events`` so a runaway run degrades to dropped events, never to
+  unbounded memory;
+* **per-name duration statistics** (a :class:`~repro.metrics.sketch.
+  StreamAccumulator` plus :class:`~repro.metrics.sketch.QuantileSketch`
+  per span name), which always update even once the event buffer is full
+  -- the phase profile in the telemetry document stays complete when the
+  raw trace does not.
+
+Timestamps come from ``time.perf_counter`` relative to the tracer's
+creation, so a trace never embeds wall-clock time and loads at ``t=0`` in
+Perfetto.  ``tid`` defaults to 0 (the parent process timeline); the worker
+pool passes worker ids so per-shard spans land on per-worker tracks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.metrics.sketch import QuantileSketch, StreamAccumulator
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+#: Default cap on buffered trace events (~200 bytes each when exported).
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class Span:
+    """One in-flight span; use as a context manager (``with tracer.span(...)``)."""
+
+    __slots__ = ("_tracer", "name", "tid", "args", "_begin")
+
+    def __init__(self, tracer: "Tracer", name: str, tid: int, args: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.tid = tid
+        self.args = args
+        self._begin = 0.0
+
+    def __enter__(self) -> "Span":
+        self._begin = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.complete(
+            self.name, self._begin, time.perf_counter(), tid=self.tid, **self.args
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Bounded trace-event buffer plus per-span-name duration statistics."""
+
+    def __init__(self, *, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = int(max_events)
+        self.pid = os.getpid()
+        self.origin = time.perf_counter()
+        self._events: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._stats: Dict[str, Tuple[StreamAccumulator, QuantileSketch]] = {}
+
+    # -- recording ------------------------------------------------------- #
+    def span(self, name: str, *, tid: int = 0, **args: Any) -> Span:
+        """A context manager timing one span named ``name``."""
+        return Span(self, name, tid, args)
+
+    def complete(
+        self, name: str, begin: float, end: float, *, tid: int = 0, **args: Any
+    ) -> None:
+        """Record a finished span from raw ``perf_counter`` endpoints.
+
+        Used by :class:`Span` on exit and directly by observers that time
+        something they did not wrap (e.g. the worker pool reconstructing a
+        shard's span from its assignment and completion messages).
+        """
+        duration = max(0.0, end - begin)
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = (StreamAccumulator(), QuantileSketch())
+        stats[0].add(duration)
+        stats[1].add(duration)
+        self._push({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "X",
+            "ts": round((begin - self.origin) * 1e6, 3),
+            "dur": round(duration * 1e6, 3),
+            "pid": self.pid,
+            "tid": int(tid),
+            "args": args,
+        })
+
+    def instant(self, name: str, *, tid: int = 0, **args: Any) -> None:
+        """Record a point-in-time trace event (heartbeats, retries, respawns)."""
+        self._push({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "i",
+            "s": "p",
+            "ts": round((time.perf_counter() - self.origin) * 1e6, 3),
+            "pid": self.pid,
+            "tid": int(tid),
+            "args": args,
+        })
+
+    def _push(self, event: Dict[str, Any]) -> None:
+        if len(self._events) >= self.max_events:
+            self.dropped += 1
+            return
+        self._events.append(event)
+
+    # -- reading --------------------------------------------------------- #
+    def events(self) -> List[Dict[str, Any]]:
+        """The buffered trace events (in recording order)."""
+        return list(self._events)
+
+    def span_stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name duration digest in seconds, sorted by name."""
+        digest: Dict[str, Dict[str, float]] = {}
+        for name in sorted(self._stats):
+            accumulator, sketch = self._stats[name]
+            digest[name] = {
+                "count": int(accumulator.count),
+                "total_s": accumulator.total,
+                "mean_s": accumulator.mean,
+                "max_s": accumulator.maximum,
+                "p50_s": sketch.percentile(50.0),
+                "p95_s": sketch.percentile(95.0),
+            }
+        return digest
+
+    def spans_named(self, name: str) -> List[Dict[str, Any]]:
+        """All buffered complete events with ``name`` (e.g. per-shard spans)."""
+        return [e for e in self._events if e["name"] == name and e["ph"] == "X"]

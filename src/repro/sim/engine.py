@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obs.telemetry import get_telemetry
 from repro.sim.clock import SimulationClock
 from repro.sim.events import Event, EventCallback, EventQueue
 from repro.sim.process import PeriodicProcess
@@ -163,6 +164,15 @@ class SimulationEngine:
         self._run(until=until, max_events=max_events)
 
     def _run(self, *, until: Optional[float], max_events: Optional[int]) -> None:
+        obs = get_telemetry()
+        start_processed = self._processed
+        with obs.span("engine.run", until=until):
+            self._run_loop(until=until, max_events=max_events)
+        if obs.enabled:
+            obs.counter("engine.events").add(self._processed - start_processed)
+            obs.gauge("engine.pending_events").set(len(self.queue))
+
+    def _run_loop(self, *, until: Optional[float], max_events: Optional[int]) -> None:
         self._running = True
         self.stop_reason = None
         executed = 0

@@ -38,6 +38,7 @@ from repro.core.normal_switch import NormalSwitchAlgorithm
 from repro.metrics.collectors import MetricsCollector, SwitchMetrics
 from repro.metrics.overhead import OverheadAccountant
 from repro.net.fabric import NetworkFabric, build_fabric
+from repro.obs.telemetry import get_telemetry
 from repro.net.library import get_topology, topology_names
 from repro.overlay.augment import augment_to_min_degree
 from repro.overlay.generator import generate_trace
@@ -767,49 +768,66 @@ class SwitchSession:
         order = list(self.peers.keys())
         self.streams.get("round-order").shuffle(order)
 
-        decisions = self._decide_phase(order, now)
+        obs = get_telemetry()
+        with obs.span("period.decide", t=now, peers=len(order)):
+            decisions = self._decide_phase(order, now)
 
+        requests = failed = delayed = 0
         deliveries: List[Tuple[PeerNode, int]] = []
-        for node_id in order:
-            peer = self.peers[node_id]
-            for request in decisions[node_id].requests:
-                self.overhead.add_request(SEGMENT_REQUEST_BITS)
-                supplier = self._node(request.supplier_id)
-                if supplier is None or not supplier.buffer.contains(request.seg_id):
-                    peer.record_failed_request()
-                    continue
-                if not self.ledger.consume(request.supplier_id):
-                    peer.record_failed_request()
-                    continue
-                self.overhead.add_data(DEFAULT_SEGMENT_BITS)
-                delay = self.fabric.data_transfer(request.supplier_id, peer.node_id)
-                if delay is None:
-                    # The segment was lost in flight.  The loss sits on the
-                    # large response, not the tiny request, so the
-                    # supplier's upload budget and the wire bytes are spent
-                    # regardless; the scheduler re-requests the segment
-                    # next period (drop + retry).
-                    peer.record_failed_request()
-                    continue
-                if delay <= 0.0:
-                    deliveries.append((peer, request.seg_id))
-                else:
-                    self._schedule_delivery(peer.node_id, request.seg_id, delay)
+        with obs.span("period.exchange", t=now):
+            for node_id in order:
+                peer = self.peers[node_id]
+                for request in decisions[node_id].requests:
+                    requests += 1
+                    self.overhead.add_request(SEGMENT_REQUEST_BITS)
+                    supplier = self._node(request.supplier_id)
+                    if supplier is None or not supplier.buffer.contains(request.seg_id):
+                        peer.record_failed_request()
+                        failed += 1
+                        continue
+                    if not self.ledger.consume(request.supplier_id):
+                        peer.record_failed_request()
+                        failed += 1
+                        continue
+                    self.overhead.add_data(DEFAULT_SEGMENT_BITS)
+                    delay = self.fabric.data_transfer(request.supplier_id, peer.node_id)
+                    if delay is None:
+                        # The segment was lost in flight.  The loss sits on the
+                        # large response, not the tiny request, so the
+                        # supplier's upload budget and the wire bytes are spent
+                        # regardless; the scheduler re-requests the segment
+                        # next period (drop + retry).
+                        peer.record_failed_request()
+                        failed += 1
+                        continue
+                    if delay <= 0.0:
+                        deliveries.append((peer, request.seg_id))
+                    else:
+                        delayed += 1
+                        self._schedule_delivery(peer.node_id, request.seg_id, delay)
 
-        for peer, seg_id in deliveries:
-            peer.apply_delivery(seg_id, now)
+            for peer, seg_id in deliveries:
+                peer.apply_delivery(seg_id, now)
 
-        for node_id in order:
-            self.peers[node_id].advance_playback(now - cfg.tau, cfg.tau)
+        with obs.span("period.flush", t=now):
+            for node_id in order:
+                self.peers[node_id].advance_playback(now - cfg.tau, cfg.tau)
 
-        self.ledger.end_period()
-        if now >= 0:
-            self.overhead.close_period(now)
-            if cfg.record_rounds:
-                self.collector.sample_round(
-                    now, list(self.peers.values()), self._departed_stalls
-                )
-            self._maybe_stop(now)
+            self.ledger.end_period()
+            if obs.enabled:
+                obs.counter("session.periods").inc()
+                obs.counter("fabric.requests").add(requests)
+                obs.counter("fabric.requests_failed").add(failed)
+                obs.counter("fabric.deliveries_immediate").add(len(deliveries))
+                obs.counter("fabric.deliveries_delayed").add(delayed)
+                obs.gauge("session.peers").set(len(self.peers))
+            if now >= 0:
+                self.overhead.close_period(now)
+                if cfg.record_rounds:
+                    self.collector.sample_round(
+                        now, list(self.peers.values()), self._departed_stalls
+                    )
+                self._maybe_stop(now)
 
     def _decide_phase(self, order: Sequence[int], now: float) -> Dict[int, ScheduleDecision]:
         """Run every peer's buffer-map pull + scheduling decision for one round.
@@ -824,6 +842,9 @@ class SwitchSession:
             peer = self.peers[node_id]
             snapshots = self._pull_buffer_maps(peer)
             decisions[node_id] = peer.decide(snapshots, now)
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.counter("engine.dispatch.scalar").add(len(order))
         return decisions
 
     def _schedule_delivery(self, node_id: int, seg_id: int, delay: float) -> None:
@@ -849,16 +870,22 @@ class SwitchSession:
         """
         windows = peer.interest_windows()
         snapshots: List[BufferMapSnapshot] = []
+        dropped = 0
         for neighbour_id in self.overlay.neighbours(peer.node_id):
             node = self._node(neighbour_id)
             if node is None:
                 continue
             if self.fabric.control_transfer(neighbour_id, peer.node_id) is None:
+                dropped += 1
                 continue
             send_rate = self._estimate_send_rate(neighbour_id)
             snapshot = node.snapshot_for(windows, send_rate=send_rate)
             self.overhead.add_control(snapshot.wire_bits)
             snapshots.append(snapshot)
+        obs = get_telemetry()
+        if obs.enabled:
+            obs.counter("fabric.control_pulls").add(len(snapshots))
+            obs.counter("fabric.control_dropped").add(dropped)
         return snapshots
 
     def _estimate_send_rate(self, supplier_id: int) -> float:
@@ -1068,7 +1095,14 @@ class SwitchSession:
                 "session runs on a shared engine; run that engine and call finalize()"
             )
         started = _wallclock.perf_counter()
-        self.engine.run_until(self.config.max_time + self.config.tau)
+        with get_telemetry().span(
+            "session.run",
+            label=self.label,
+            algorithm=self.config.algorithm,
+            engine=self.config.engine,
+            n_nodes=self.config.n_nodes,
+        ):
+            self.engine.run_until(self.config.max_time + self.config.tau)
         self._wallclock = _wallclock.perf_counter() - started
         return self.finalize()
 

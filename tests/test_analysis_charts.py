@@ -1,8 +1,14 @@
-"""Tests for the ASCII chart helpers."""
+"""Tests for the ASCII and SVG chart helpers."""
 
 import pytest
 
-from repro.analysis.charts import ascii_bar_chart, ascii_line_chart, sparkline
+from repro.analysis.charts import (
+    ascii_bar_chart,
+    ascii_line_chart,
+    sparkline,
+    svg_bar_chart,
+    svg_line_chart,
+)
 
 
 def test_sparkline_levels():
@@ -61,3 +67,51 @@ def test_bar_chart_empty_and_zero_values():
     assert ascii_bar_chart([]) == "(no data)"
     chart = ascii_bar_chart([("zero", 0.0)], title="t")
     assert "zero" in chart and "t" in chart
+
+
+# --------------------------------------------------------------------------- #
+# SVG builders on degenerate inputs
+# --------------------------------------------------------------------------- #
+def test_svg_line_chart_empty_input_renders_stub():
+    for empty in ({}, {"a": []}):
+        svg = svg_line_chart(empty)
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "no data" in svg
+
+
+def test_svg_line_chart_single_point_series():
+    svg = svg_line_chart({"solo": [(1.0, 2.0)]}, title="single")
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "single" in svg and "solo" in svg
+
+
+def test_svg_line_chart_all_equal_values_does_not_divide_by_zero():
+    svg = svg_line_chart({"flat": [(0.0, 3.0), (5.0, 3.0), (10.0, 3.0)]})
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "flat" in svg and "NaN" not in svg and "inf" not in svg
+
+
+def test_svg_line_chart_equal_x_values_does_not_divide_by_zero():
+    svg = svg_line_chart({"stack": [(2.0, 0.0), (2.0, 1.0)]})
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "NaN" not in svg and "inf" not in svg
+
+
+def test_svg_bar_chart_empty_input_renders_stub():
+    svg = svg_bar_chart([])
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "no data" in svg
+
+
+def test_svg_bar_chart_single_and_zero_valued_bars():
+    svg = svg_bar_chart([("only", 0.0)], title="zeros")
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "only" in svg and "zeros" in svg and "NaN" not in svg
+
+
+def test_svg_bar_chart_all_equal_values():
+    svg = svg_bar_chart([("a", 2.5), ("b", 2.5), ("c", 2.5)])
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    for label in ("a", "b", "c"):
+        assert f">{label}<" in svg or label in svg
+    assert "NaN" not in svg and "inf" not in svg

@@ -18,8 +18,10 @@ def test_parser_knows_all_subcommands():
     assert args.dynamic is True
     args = parser.parse_args(["scenario", "video-conference"])
     assert args.name == "video-conference"
-    args = parser.parse_args(["trace", "out.trace", "--n-nodes", "77"])
+    args = parser.parse_args(["trace", "overlay", "out.trace", "--n-nodes", "77"])
     assert args.path == "out.trace" and args.n_nodes == 77
+    args = parser.parse_args(["trace", "run", "--out", "t.json", "--n-nodes", "40"])
+    assert args.trace_command == "run" and args.out == "t.json" and args.n_nodes == 40
     args = parser.parse_args(["sweep", "--sizes", "30", "40", "--workers", "4",
                               "--results-dir", "/tmp/r"])
     assert args.sizes == [30, 40] and args.workers == 4 and args.results_dir == "/tmp/r"
@@ -74,12 +76,47 @@ def test_compare_command_reports_reduction(capsys):
     assert payload["n_peers"] == 34
 
 
-def test_trace_command_writes_parseable_file(tmp_path, capsys):
+def test_trace_overlay_command_writes_parseable_file(tmp_path, capsys):
     target = tmp_path / "synthetic.trace"
-    assert main(["trace", str(target), "--n-nodes", "60", "--seed", "3"]) == 0
+    assert main(["trace", "overlay", str(target), "--n-nodes", "60", "--seed", "3"]) == 0
     assert "wrote 60 records" in capsys.readouterr().out
     records = parse_trace(target)
     assert len(records) == 60
+
+
+def test_trace_run_command_writes_chrome_trace(tmp_path, capsys):
+    target = tmp_path / "run.trace.json"
+    argv = ["trace", "run", "--out", str(target), "--n-nodes", "36",
+            "--seed", "2", "--max-time", "70", "--json"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["events"] > 0
+    assert "period.decide" in payload["spans"]
+    document = json.loads(target.read_text(encoding="utf-8"))
+    assert document["traceEvents"] and document["displayTimeUnit"] == "ms"
+    phases = {event["ph"] for event in document["traceEvents"]}
+    assert "X" in phases
+
+
+def test_run_with_telemetry_persists_document_and_identical_metrics(
+        tmp_path, capsys):
+    argv = ["run", "--n-nodes", "36", "--seed", "2", "--max-time", "70", "--json"]
+    assert main(argv) == 0
+    plain = json.loads(capsys.readouterr().out)
+    store_dir = tmp_path / "results"
+    assert main(argv + ["--telemetry", "--results-dir", str(store_dir)]) == 0
+    instrumented = json.loads(capsys.readouterr().out)
+    # telemetry never changes results (wallclock is a measurement, not a result)
+    plain.pop("wallclock (s)"), instrumented.pop("wallclock (s)")
+    assert instrumented == plain
+    from repro.experiments.store import ResultStore
+
+    store = ResultStore(store_dir)
+    keys = [key for key in store.keys() if key.startswith("telemetry-")]
+    assert len(keys) == 1
+    document = store.load_telemetry(keys[0])
+    assert document["kind"] == "telemetry"
+    assert document["spans"]["period.decide"]["count"] > 0
 
 
 def test_unknown_figure_number_rejected_by_parser():

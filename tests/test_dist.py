@@ -175,6 +175,67 @@ class TestWorkerPool:
         assert len(excinfo.value.failures) == 2  # first try + one retry
         assert "injected fault" in str(excinfo.value)
 
+    def test_worker_heartbeat_timestamp_tracked_per_worker(self):
+        pool = WorkerPool(1)
+        list(pool.run(_double_task, {0: 7}))
+        beat = pool.last_worker_heartbeat(0)
+        assert beat is not None
+        label, stamp = beat
+        assert label == "rep7/ch0"
+        assert stamp > 0
+
+    def test_failure_summary_reports_heartbeat_age(self):
+        pool = WorkerPool(1, max_retries=0)
+        with pytest.raises(ShardExecutionError) as excinfo:
+            list(pool.run(_failing_task, {4: 4}))
+        (failure,) = excinfo.value.failures
+        assert failure.heartbeat_age_s is not None
+        assert 0.0 <= failure.heartbeat_age_s < 60.0
+        assert "last heartbeat" in failure.describe()
+        assert "s ago" in failure.describe()
+
+    def test_pool_reconstructs_shard_spans_and_events(self):
+        from repro.obs import telemetry_session
+
+        with telemetry_session() as telemetry:
+            pool = WorkerPool(2)
+            dict(pool.run(_double_task, {0: 1, 1: 2, 2: 3}))
+        spans = telemetry.tracer.spans_named("shard.execute")
+        assert sorted(e["args"]["shard"] for e in spans) == [0, 1, 2]
+        assert all(e["dur"] >= 0.0 for e in spans)
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["pool.shards_done"] == 3
+        assert counters["pool.worker_spawn"] == 2
+        assert counters["pool.heartbeats"] >= 3
+
+    def test_pool_traces_retry_and_respawn_events(self, tmp_path, monkeypatch):
+        from repro.obs import telemetry_session
+
+        monkeypatch.setenv("DIST_TEST_FLAGS", str(tmp_path))
+        with telemetry_session() as telemetry:
+            pool = WorkerPool(1, max_retries=1, fault_hook=_crash_once_hook)
+            results = dict(pool.run(_double_task, {0: 5}))
+        assert results == {0: 10}
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["pool.shard_failure"] == 1
+        assert counters["pool.shard_retry"] == 1
+        assert counters["pool.worker_respawn"] >= 1
+        names = {e["name"] for e in telemetry.tracer.events()}
+        assert {"pool.shard_failure", "pool.shard_retry",
+                "pool.worker_respawn"} <= names
+
+    def test_retry_and_respawn_warnings_are_logged(self, tmp_path, monkeypatch,
+                                                   caplog):
+        import logging
+
+        monkeypatch.setenv("DIST_TEST_FLAGS", str(tmp_path))
+        pool = WorkerPool(1, max_retries=1, fault_hook=_crash_once_hook)
+        with caplog.at_level(logging.WARNING, logger="repro.dist.pool"):
+            assert dict(pool.run(_double_task, {0: 5})) == {0: 10}
+        messages = " ".join(record.message for record in caplog.records)
+        assert "died" in messages and "retrying shard 0" in messages
+        assert "respawned" in messages
+
     def test_empty_task_map_is_a_no_op(self):
         assert list(WorkerPool(2).run(_double_task, {})) == []
 

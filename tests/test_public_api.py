@@ -31,6 +31,7 @@ def test_subpackages_import_cleanly():
     import repro.core  # noqa: F401
     import repro.experiments  # noqa: F401
     import repro.metrics  # noqa: F401
+    import repro.obs  # noqa: F401
     import repro.overlay  # noqa: F401
     import repro.sim  # noqa: F401
     import repro.streaming  # noqa: F401
