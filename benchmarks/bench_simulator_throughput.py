@@ -107,6 +107,56 @@ def test_telemetry_overhead_is_negligible(benchmark):
     assert overhead_ratio < 1.25
 
 
+def test_probe_overhead_is_bounded(benchmark):
+    """Pin the cost of the protocol probes on the hot path.
+
+    Same pattern as the telemetry-overhead pin: one uninstrumented run
+    and one under ``telemetry_session(probes=True)`` inside the timed
+    callable, with the instrumented/uninstrumented wallclock ratio
+    recorded as the scalar ``probe_overhead_ratio`` extra so the pinned
+    ``BENCH_<sha>.json`` trajectory carries it.  Probes are heavier than
+    bare telemetry (they record several lifecycle events per segment
+    request), so the gate is looser than telemetry's but still bounds
+    the layer at a fraction of a run.
+    """
+    from repro.obs import telemetry_session
+
+    timings = {}
+
+    def paired_run():
+        import time
+
+        start = time.perf_counter()
+        plain = _run_once(100)
+        timings["off"] = time.perf_counter() - start
+        start = time.perf_counter()
+        with telemetry_session(probes=True) as telemetry:
+            probed = _run_once(100)
+        timings["on"] = time.perf_counter() - start
+        timings["events"] = len(telemetry.probes.lifecycle)
+        return plain, probed
+
+    plain, probed = benchmark.pedantic(paired_run, rounds=1, iterations=1)
+    probe_overhead_ratio = timings["on"] / max(timings["off"], 1e-9)
+    benchmark.extra_info["probe_overhead_ratio"] = round(probe_overhead_ratio, 4)
+    report_rows(
+        benchmark,
+        "Probe overhead (100-node overlay, oracle engine)",
+        [{
+            "uninstrumented_s": round(timings["off"], 3),
+            "probed_s": round(timings["on"], 3),
+            "probe_overhead_ratio": round(probe_overhead_ratio, 4),
+            "lifecycle_events": timings["events"],
+        }],
+    )
+    # Probes must not change results...
+    assert probed.metrics.avg_switch_time == plain.metrics.avg_switch_time
+    assert probed.n_rounds == plain.n_rounds
+    assert timings["events"] > 0
+    # ...and their cost stays bounded (the acceptance criterion).
+    assert probe_overhead_ratio < 1.3
+
+
 def test_overlay_construction_cost(benchmark):
     """Cost of building + augmenting a 1000-node overlay (setup phase only)."""
     from repro.overlay.augment import augment_to_min_degree

@@ -71,7 +71,7 @@ from repro.net import (
 from repro.streaming.session import SessionConfig, SessionResult, SwitchSession
 from repro.workloads import Phase, WorkloadSpec, get_universe, get_workload, run_workload
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",

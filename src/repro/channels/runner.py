@@ -280,6 +280,12 @@ class UniverseRunner:
         :class:`~repro.dist.runner.ShardedExecutor` (bounded retry,
         fault injection, post-shard callback).  Ignored when ``shards``
         is ``None``.
+    progress:
+        ``True`` prints a live status line (shards done/total, ETA,
+        per-worker heartbeat age) to stderr while the sharded path runs;
+        a :class:`~repro.dist.progress.ProgressReporter` instance is
+        used as-is (the test seam).  Ignored when ``shards`` is ``None``
+        or when every repetition replays from the store.
     """
 
     def __init__(
@@ -291,6 +297,7 @@ class UniverseRunner:
         max_retries: int = 1,
         fault_hook: Optional[Any] = None,
         after_shard: Optional[Any] = None,
+        progress: Any = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -303,6 +310,7 @@ class UniverseRunner:
         self.max_retries = int(max_retries)
         self.fault_hook = fault_hook
         self.after_shard = after_shard
+        self.progress = progress
         #: Merged per-algorithm streaming aggregates of the last sharded
         #: run (``None`` on the classic paths or before any run).
         self.last_aggregates: Optional[Dict[str, Any]] = None
@@ -365,12 +373,19 @@ class UniverseRunner:
             # just the pending subset) so shard ids -- and the checkpoint
             # journal keyed off the plan fingerprint -- stay stable no
             # matter how many repetitions already persisted.
-            from repro.dist import ShardedExecutor, ShardPlan
+            from repro.dist import ProgressReporter, ShardedExecutor, ShardPlan
 
             shard_plan = ShardPlan.build(spec, rep_seeds, self.shards)
             journal_root = None
             if self.store is not None and not self.store.replay_only:
                 journal_root = self.store.root / "journal"
+            reporter: Optional[ProgressReporter]
+            if isinstance(self.progress, ProgressReporter):
+                reporter = self.progress
+            elif self.progress:
+                reporter = ProgressReporter()
+            else:
+                reporter = None
             executor = ShardedExecutor(
                 shard_plan,
                 workers=self.workers,
@@ -379,6 +394,7 @@ class UniverseRunner:
                 max_retries=self.max_retries,
                 fault_hook=self.fault_hook,
                 after_shard=self.after_shard,
+                progress=reporter,
             )
             execute = lambda pending: executor.execute(  # noqa: E731
                 [rep_seeds[i] for i in pending]
@@ -470,8 +486,13 @@ def run_universe(
     store: Optional[BaseResultStore] = None,
     compute_engine: Optional[str] = None,
     shards: Optional[int] = None,
+    progress: Any = False,
 ) -> UniverseResult:
     """Convenience wrapper: build a :class:`UniverseRunner` and run ``spec``."""
     return UniverseRunner(
-        workers=workers, store=store, compute_engine=compute_engine, shards=shards
+        workers=workers,
+        store=store,
+        compute_engine=compute_engine,
+        shards=shards,
+        progress=progress,
     ).run(spec, seed=seed, repetitions=repetitions)

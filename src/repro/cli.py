@@ -209,6 +209,11 @@ def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
                         help="also write the run's Chrome trace-event file "
                              "here (implies --telemetry; load it in "
                              "chrome://tracing or ui.perfetto.dev)")
+    parser.add_argument("--probes", action="store_true",
+                        help="also record the sim-time protocol probes "
+                             "(implies --telemetry; segment lifecycle, swarm "
+                             "health and startup funnel, exported in the "
+                             "telemetry document's 'probes' block)")
 
 
 def _package_version() -> str:
@@ -399,6 +404,11 @@ def build_parser() -> argparse.ArgumentParser:
                                        "many shards on a long-lived worker pool "
                                        "with checkpoint/resume; bit-identical to "
                                        "the serial path")
+        universe_run.add_argument("--progress", action="store_true",
+                                  help="with --shards: print a periodic live "
+                                       "status line to stderr (shards done/total, "
+                                       "ETA from shard history, per-worker "
+                                       "heartbeat age)")
         universe_run.add_argument("--from-store", action="store_true",
                                   help="replay from the result store only; never simulate")
         universe_run.add_argument("--compare", action="store_true",
@@ -461,6 +471,28 @@ def build_parser() -> argparse.ArgumentParser:
     trace_run.add_argument("--json", action="store_true")
     _add_topology_argument(trace_run)
     _add_engine_argument(trace_run)
+
+    probe = sub.add_parser(
+        "probe",
+        help="run one probed simulation and inspect the sim-time protocol "
+             "probes (segment lifecycle, swarm health, startup funnel)",
+    )
+    probe.add_argument("--algorithm", choices=["fast", "normal"], default="fast")
+    probe.add_argument("--n-nodes", type=int, default=200)
+    probe.add_argument("--seed", type=int, default=0)
+    probe.add_argument("--dynamic", action="store_true",
+                       help="enable 5%% churn per period")
+    probe.add_argument("--max-time", type=float, default=120.0)
+    probe.add_argument("--peer", type=int, default=None, metavar="ID",
+                       help="print this peer's segment-lifecycle timeline "
+                            "instead of the swarm overview")
+    probe.add_argument("--seg", type=int, default=None, metavar="ID",
+                       help="restrict the --peer timeline to one segment id")
+    probe.add_argument("--last", type=_positive_int, default=40, metavar="N",
+                       help="timeline events to print (newest last, default 40)")
+    probe.add_argument("--json", action="store_true")
+    _add_topology_argument(probe)
+    _add_engine_argument(probe)
 
     bench = sub.add_parser("bench", help="inspect the benchmark trajectory")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -916,6 +948,7 @@ def _cmd_universe(args: argparse.Namespace) -> int:
             store=store,
             compute_engine=getattr(args, "engine", None),
             shards=args.shards,
+            progress=getattr(args, "progress", False),
         )
     except (MissingResultError, ValueError) as error:
         # ValueError: lineup/population combinations the spec rejects (e.g.
@@ -937,6 +970,89 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return _run_workload_spec(scenario.spec(), args)
 
 
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.obs import telemetry_session
+    from repro.streaming.protocol import STAGE_WIRE_BITS
+
+    config = make_session_config(
+        args.n_nodes,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        dynamic=args.dynamic,
+        max_time=args.max_time,
+        topology=args.topology or "",
+        **({"engine": args.engine} if args.engine else {}),
+    )
+    with telemetry_session(probes=True) as telemetry:
+        run_single(config)
+    probes = telemetry.probes
+    lifecycle = probes.lifecycle
+    if args.json:
+        payload = probes.snapshot()
+        if args.peer is not None:
+            payload["timeline"] = lifecycle.rows(peer=args.peer, seg=args.seg)
+        print(json.dumps(payload, indent=2))
+        return 0
+    if args.peer is not None:
+        events = lifecycle.rows(peer=args.peer, seg=args.seg)
+        if not events:
+            print(f"(no lifecycle events recorded for peer {args.peer})")
+            return 0
+        shown = events[-args.last:]
+        print(f"segment lifecycle of peer {args.peer} "
+              f"({len(shown)} of {len(events)} events, newest last):")
+        print(format_table([
+            {
+                "t_sim": f"{event['time']:.2f}",
+                "period": event["period"],
+                "seg": event["seg"],
+                "stage": event["stage"],
+                "supplier": event["supplier"] if event["supplier"] >= 0 else "-",
+                "value": round(event["value"], 4),
+                "wire_bits": STAGE_WIRE_BITS.get(event["stage"], 0),
+            }
+            for event in shown
+        ]))
+        return 0
+    print("segment lifecycle:")
+    print(format_table([
+        {"stage": stage, "events": count}
+        for stage, count in lifecycle.stage_counts().items()
+    ]))
+    drops = lifecycle.drop_reason_counts()
+    if drops:
+        print("\ndrop reasons:")
+        print(format_table([
+            {"reason": reason, "drops": count} for reason, count in drops.items()
+        ]))
+    print("\nstartup funnel:")
+    print(format_table(probes.funnel.funnel_rows()))
+    health = probes.health.rows()
+    if health:
+        step = max(1, len(health) // 12)
+        print("\nswarm health (every "
+              f"{step}{'st' if step == 1 else 'th'} period):")
+        print(format_table([
+            {
+                "t_sim": f"{row['time']:.1f}",
+                "peers": row["peers"],
+                "fill_p50": row["fill_p50"],
+                "fill_p90": row["fill_p90"],
+                "pending": row["pending"],
+                "util": row["utilisation"],
+                "requests": row["requests"],
+                "failed": row["failed"],
+                "delivered": row["delivered"],
+            }
+            for row in health[::step]
+        ]))
+    if lifecycle.dropped:
+        print(f"warning: lifecycle ring buffer overflowed; "
+              f"{lifecycle.dropped} events were dropped "
+              f"(first {len(lifecycle)} kept)", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.bench import bench_trend_rows, load_bench_summaries
 
@@ -949,8 +1065,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "rows": rows,
         }, indent=2))
         return 0
+    if len(summaries) < 2:
+        print(f"need >= 2 timestamped BENCH_*.json summaries under "
+              f"{args.bench_dir} to chart a trajectory; found {len(summaries)} "
+              f"(run benchmarks/run_benchmarks.py to record one)")
+        return 0
     if not rows:
-        print(f"(no BENCH_*.json summaries under {args.bench_dir})")
+        print(f"(no benchmark rows in the BENCH_*.json summaries under {args.bench_dir})")
         return 0
     table = [
         {
@@ -1024,6 +1145,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         "seed": args.seed,
     }
     write_chrome_trace(telemetry, args.out, run=identity)
+    _warn_trace_overflow(telemetry)
     stats = telemetry.tracer.span_stats()
     n_events = len(telemetry.tracer.events())
     if args.json:
@@ -1049,6 +1171,21 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_trace_overflow(telemetry) -> None:
+    """One-line stderr warning when the Tracer ring buffer overflowed.
+
+    The dropped count is otherwise only visible inside the exported
+    document; a truncated trace silently missing its tail is the kind of
+    thing worth one loud line.
+    """
+    dropped = getattr(getattr(telemetry, "tracer", None), "dropped", 0)
+    if dropped:
+        kept = len(telemetry.tracer.events())
+        print(f"warning: trace ring buffer overflowed; {dropped} events were "
+              f"dropped (first {kept} kept -- raise the buffer via "
+              f"telemetry_session(max_trace_events=...))", file=sys.stderr)
+
+
 _COMMANDS = {
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
@@ -1060,6 +1197,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "net": _cmd_net,
     "trace": _cmd_trace,
+    "probe": _cmd_probe,
     "bench": _cmd_bench,
     "report": _cmd_report,
 }
@@ -1091,6 +1229,7 @@ def _export_telemetry(args: argparse.Namespace, telemetry) -> None:
     from repro.experiments.store import persist_telemetry_document
 
     identity = _run_identity(args)
+    _warn_trace_overflow(telemetry)
     if getattr(args, "trace_out", None):
         write_chrome_trace(telemetry, args.trace_out, run=identity)
         _LOG.info("wrote Chrome trace to %s", args.trace_out)
@@ -1112,14 +1251,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         format="%(levelname)s %(name)s: %(message)s",
         force=True,
     )
+    probes_on = bool(getattr(args, "probes", False))
     telemetry_on = bool(
-        getattr(args, "telemetry", False) or getattr(args, "trace_out", None)
+        getattr(args, "telemetry", False)
+        or getattr(args, "trace_out", None)
+        or probes_on
     )
     if not telemetry_on:
         return _COMMANDS[args.command](args)
     from repro.obs import telemetry_session
 
-    with telemetry_session() as telemetry:
+    with telemetry_session(probes=probes_on) as telemetry:
         code = _COMMANDS[args.command](args)
     if code == 0:
         _export_telemetry(args, telemetry)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import NeighbourView
+from repro.obs.telemetry import get_telemetry
 
 __all__ = ["CandidateSegment", "AssignedSegment", "GreedyAssignment", "greedy_supplier_assignment"]
 
@@ -133,4 +134,8 @@ def greedy_supplier_assignment(
         )
 
     result.supplier_queue = queue
+    obs = get_telemetry()
+    if obs.enabled:
+        obs.counter("scheduler.assigned").add(len(result.assigned))
+        obs.counter("scheduler.unassigned").add(len(result.unassigned))
     return result

@@ -46,6 +46,7 @@ from repro.core.model import optimal_split
 from repro.core.normal_switch import NormalSwitchAlgorithm
 from repro.core.priority import URGENCY_CAP, PriorityPolicy
 from repro.net.fabric import IdealFabric
+from repro.obs.probes import STAGE_ASSIGNED, STAGE_REQUESTED, STAGE_SCHEDULED
 from repro.obs.telemetry import get_telemetry
 from repro.streaming.buffer import SegmentBuffer
 from repro.streaming.buffermap import UNBOUNDED_CAPACITY, buffer_map_bits
@@ -314,6 +315,15 @@ class VectorSwitchSession(SwitchSession):
         )
         decisions: Dict[int, ScheduleDecision] = {}
         vectorised = fallbacks = 0
+        obs = get_telemetry()
+        probes = obs.probes
+        probing = probes.enabled
+        # Decide-phase lifecycle rows are accumulated in plain lists and
+        # batch-appended once per period, keeping the array path array-native;
+        # the rows are built from the same bit-identical SegmentRequest data
+        # the scalar engine emits from, so both streams match exactly.
+        probe_rows: List[Tuple[float, int, int, int, int, int, float]] = []
+        period = self.rounds_run
         old_err = np.seterr(divide="ignore")
         try:
             for node_id in order:
@@ -327,13 +337,31 @@ class VectorSwitchSession(SwitchSession):
                     # Unsupported algorithm: scalar path, identical draws.
                     fallbacks += 1
                     snapshots = self._pull_buffer_maps(peer)
-                    decisions[node_id] = peer.decide(snapshots, now)
-                    continue
-                vectorised += 1
-                decisions[node_id] = self._vector_decide(peer, kind, now, announcers)
+                    kind = ""
+                    decision = peer.decide(snapshots, now)
+                if kind:
+                    vectorised += 1
+                    decision = self._vector_decide(peer, kind, now, announcers)
+                decisions[node_id] = decision
+                if probing:
+                    for request in decision.requests:
+                        seg_id = request.seg_id
+                        supplier_id = request.supplier_id
+                        probe_rows.append(
+                            (now, period, node_id, seg_id, STAGE_REQUESTED, -1, 0.0)
+                        )
+                        probe_rows.append(
+                            (now, period, node_id, seg_id, STAGE_ASSIGNED,
+                             supplier_id, 0.0)
+                        )
+                        probe_rows.append(
+                            (now, period, node_id, seg_id, STAGE_SCHEDULED,
+                             supplier_id, request.expected_receive_time)
+                        )
         finally:
             np.seterr(**old_err)
-        obs = get_telemetry()
+        if probe_rows:
+            probes.lifecycle.extend(probe_rows)
         if obs.enabled:
             obs.counter("engine.dispatch.vector").add(vectorised)
             obs.counter("engine.dispatch.scalar_fallback").add(fallbacks)

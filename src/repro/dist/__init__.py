@@ -13,7 +13,11 @@ process -- or a single uninterrupted run -- can hold:
 * :mod:`repro.dist.journal` -- the write-ahead checkpoint journal that
   lets an interrupted ``repro universe run`` resume without recomputing
   finished shards, bit-identically to an uninterrupted run;
-* :mod:`repro.dist.runner` -- the shard executor gluing the three
+* :mod:`repro.dist.progress` -- :class:`~repro.dist.progress.
+  ProgressReporter`, the throttled live status line (shards done/total,
+  ETA, per-worker heartbeat age) behind ``repro universe run
+  --progress``;
+* :mod:`repro.dist.runner` -- the shard executor gluing the pieces
   together underneath :class:`~repro.channels.runner.UniverseRunner`
   (``repro universe run --shards N --workers W``).
 
@@ -25,6 +29,7 @@ property the dist test suite and the CI ``dist`` smoke job pin down.
 from repro.dist.journal import ShardJournal
 from repro.dist.plan import Shard, ShardPlan, ShardUnit
 from repro.dist.pool import ShardExecutionError, ShardFailure, WorkerPool
+from repro.dist.progress import ProgressReporter
 from repro.dist.runner import ShardAggregates, ShardedExecutor, ShardResult
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "ShardExecutionError",
     "ShardFailure",
     "WorkerPool",
+    "ProgressReporter",
     "ShardAggregates",
     "ShardedExecutor",
     "ShardResult",

@@ -197,6 +197,14 @@ class WorkerPool:
         """The latest ``(label, unix_time)`` heartbeat posted by one worker."""
         return self._worker_heartbeats.get(worker_id)
 
+    def worker_heartbeats(self) -> Dict[int, Tuple[str, float]]:
+        """A snapshot of every worker's latest ``(label, unix_time)`` beat.
+
+        The progress reporter polls this to render per-worker heartbeat
+        ages; a copy is returned so callers never race the drain loop.
+        """
+        return dict(self._worker_heartbeats)
+
     # ------------------------------------------------------------------ #
     def run(
         self, task_fn: TaskFn, tasks: Mapping[int, Any]

@@ -1,0 +1,196 @@
+"""Live progress for sharded runs: a throttled stderr status line.
+
+A long sharded run is otherwise silent until it returns; the pieces
+needed for a live view already exist -- the executor knows the shard
+frontier (planned / journal-replayed / freshly computed) and the
+:class:`~repro.dist.pool.WorkerPool` records a per-worker heartbeat for
+every work unit (``rep<seed>/ch<channel>``).  :class:`ProgressReporter`
+aggregates them into one periodically re-printed line::
+
+    [shards] 5/12 done (3 replayed) | ETA ~14s | w0 rep4/ch2 (0.3s) w1 rep5/ch0 (1.1s)
+
+Design notes
+------------
+* **Throttled, newline-terminated.**  Lines go to ``stream`` (stderr by
+  default) at most once per ``interval_s`` seconds plus one final line,
+  so runs with thousands of tiny shards do not flood terminals or logs;
+  plain newlines (no ``\\r`` tricks) keep redirected output readable.
+* **Ticker thread.**  Completions can be minutes apart, so emission is
+  not tied to them: a daemon thread re-prints every ``interval_s`` using
+  the latest pool heartbeats, which is what makes a wedged worker
+  visible *before* the run fails.  ``interval_s=0`` disables both the
+  thread and the throttle (every event emits synchronously) -- the mode
+  the tests drive.
+* **ETA from observed completions.**  The mean wall-clock gap between
+  the fresh-shard completions seen so far already bakes in worker
+  parallelism and journal replay, so the estimate is simply
+  ``remaining * mean_gap`` -- no model of per-shard cost.
+* **Injectable clocks.**  ``clock`` (monotonic) drives throttling and
+  ETA; ``wall_clock`` (unix) is only compared against the pool's
+  heartbeat timestamps.  Tests pin both.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import IO, Callable, Optional
+
+from repro.dist.pool import WorkerPool
+
+__all__ = ["ProgressReporter", "format_eta"]
+
+#: Default seconds between status lines.
+DEFAULT_INTERVAL_S: float = 2.0
+
+#: At most this many per-worker heartbeat entries per line.
+_MAX_WORKERS_SHOWN: int = 8
+
+
+def format_eta(seconds: float) -> str:
+    """Compact human form of an ETA: ``~42s``, ``~3m10s``, ``~2h05m``."""
+    seconds = max(0.0, float(seconds))
+    if seconds < 60.0:
+        return f"~{seconds:.0f}s"
+    minutes, rest = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"~{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"~{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Render a sharded run's live status as periodic stderr lines.
+
+    The :class:`~repro.dist.runner.ShardedExecutor` drives the life
+    cycle: :meth:`begin` once the shard frontier is known,
+    :meth:`shard_done` per freshly computed shard, :meth:`finish` on the
+    way out (idempotent, also runs on failure).  All methods are
+    thread-safe; the internal ticker thread shares them.
+    """
+
+    def __init__(
+        self,
+        *,
+        stream: Optional[IO[str]] = None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError(f"interval_s must be >= 0, got {interval_s}")
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = float(interval_s)
+        self._clock = clock
+        self._wall_clock = wall_clock
+        self._lock = threading.Lock()
+        self._pool: Optional[WorkerPool] = None
+        self._total = 0
+        self._replayed = 0
+        self._fresh_done = 0
+        self._started_at = 0.0
+        self._last_emit: Optional[float] = None
+        self._stop: Optional[threading.Event] = None
+        self._ticker: Optional[threading.Thread] = None
+        self._finished = False
+        #: Lines emitted so far (what the tests assert on).
+        self.lines_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    def begin(self, *, total: int, replayed: int, pool: Optional[WorkerPool]) -> None:
+        """Start reporting: ``total`` shards this run, ``replayed`` of
+        them already satisfied from the checkpoint journal."""
+        with self._lock:
+            self._total = int(total)
+            self._replayed = int(replayed)
+            self._fresh_done = 0
+            self._pool = pool
+            self._started_at = self._clock()
+            self._finished = False
+            self._emit_locked()
+        if self.interval_s > 0:
+            self._stop = threading.Event()
+            self._ticker = threading.Thread(
+                target=self._tick, name="repro-progress", daemon=True
+            )
+            self._ticker.start()
+
+    def shard_done(self, shard_id: int) -> None:
+        """Record one freshly computed shard; emit if the throttle allows."""
+        with self._lock:
+            self._fresh_done += 1
+            now = self._clock()
+            if (
+                self.interval_s == 0
+                or self._last_emit is None
+                or now - self._last_emit >= self.interval_s
+            ):
+                self._emit_locked()
+
+    def finish(self) -> None:
+        """Stop the ticker and print one final line.  Idempotent."""
+        ticker, stop = self._ticker, self._stop
+        self._ticker = None
+        self._stop = None
+        if stop is not None:
+            stop.set()
+        if ticker is not None:
+            ticker.join(timeout=self.interval_s + 1.0)
+        with self._lock:
+            if self._finished:
+                return
+            self._finished = True
+            self._emit_locked()
+
+    # ------------------------------------------------------------------ #
+    def _tick(self) -> None:
+        stop = self._stop
+        while stop is not None and not stop.wait(self.interval_s):
+            with self._lock:
+                if self._finished:
+                    return
+                self._emit_locked()
+
+    def _emit_locked(self) -> None:
+        self._last_emit = self._clock()
+        print(self.status_line(), file=self.stream, flush=True)
+        self.lines_emitted += 1
+
+    # ------------------------------------------------------------------ #
+    def status_line(self) -> str:
+        """The current one-line status (pure read; callable any time)."""
+        done = self._replayed + self._fresh_done
+        parts = [f"[shards] {done}/{self._total} done"]
+        if self._replayed:
+            parts[0] += f" ({self._replayed} replayed)"
+        eta = self._eta()
+        parts.append("all shards finished" if eta == "done" else f"ETA {eta}")
+        workers = self._worker_ages()
+        if workers:
+            parts.append(workers)
+        return " | ".join(parts)
+
+    def _eta(self) -> str:
+        remaining = self._total - self._replayed - self._fresh_done
+        if remaining <= 0:
+            return "done"
+        if self._fresh_done == 0:
+            return "--"
+        mean_gap = (self._clock() - self._started_at) / self._fresh_done
+        return format_eta(remaining * mean_gap)
+
+    def _worker_ages(self) -> str:
+        if self._pool is None:
+            return ""
+        beats = self._pool.worker_heartbeats()
+        if not beats:
+            return ""
+        now = self._wall_clock()
+        entries = [
+            f"w{worker_id} {label} ({max(0.0, now - stamp):.1f}s)"
+            for worker_id, (label, stamp) in sorted(beats.items())[:_MAX_WORKERS_SHOWN]
+        ]
+        if len(beats) > _MAX_WORKERS_SHOWN:
+            entries.append(f"+{len(beats) - _MAX_WORKERS_SHOWN} more")
+        return " ".join(entries)

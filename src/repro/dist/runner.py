@@ -46,6 +46,7 @@ from repro.channels.universe import (
 from repro.dist.journal import ShardJournal
 from repro.dist.plan import ShardPlan, ShardUnit
 from repro.dist.pool import WorkerPool
+from repro.dist.progress import ProgressReporter
 from repro.obs.telemetry import get_telemetry
 from repro.metrics.sketch import (
     DEFAULT_SKETCH_CAPACITY,
@@ -229,6 +230,10 @@ class ShardedExecutor:
         Optional parent-side callback ``(shard_id) -> None`` invoked after
         each shard is journaled -- the seam the interrupt/resume tests use
         to kill the run at a precise point.
+    progress:
+        Optional :class:`~repro.dist.progress.ProgressReporter` fed the
+        run's shard frontier (total / journal-replayed / per-completion)
+        so it can print a live status line; ``None`` stays silent.
     """
 
     def __init__(
@@ -242,12 +247,14 @@ class ShardedExecutor:
         fault_hook: Optional[Callable[[int, int], None]] = None,
         after_shard: Optional[Callable[[int], None]] = None,
         sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+        progress: Optional["ProgressReporter"] = None,
     ) -> None:
         self.plan = plan
         self.pool = WorkerPool(workers, max_retries=max_retries, fault_hook=fault_hook)
         self.compute_engine = compute_engine
         self.journal_root = Path(journal_root) if journal_root is not None else None
         self.after_shard = after_shard
+        self.progress = progress
         self.sketch_capacity = int(sketch_capacity)
         #: Merged per-algorithm aggregates, populated once :meth:`execute`
         #: has been fully consumed.  Cover only freshly simulated units --
@@ -357,6 +364,10 @@ class ShardedExecutor:
         }
         if obs.enabled:
             obs.counter("dist.shards.computed").add(len(tasks))
+        if self.progress is not None:
+            self.progress.begin(
+                total=len(needed), replayed=self.journal_replayed, pool=self.pool
+            )
 
         # Assemble repetitions incrementally: a rep is ready once all its
         # channels are collected; yield strictly in pending-seed order.
@@ -406,12 +417,16 @@ class ShardedExecutor:
                 if journal is not None:
                     journal.record(shard_id, payload)
                 results[shard_id] = result
+                if self.progress is not None:
+                    self.progress.shard_done(shard_id)
                 if self.after_shard is not None:
                     self.after_shard(shard_id)
                 absorb(result)
                 yield from drain(hold_back)
         finally:
             pool_run.close()
+            if self.progress is not None:
+                self.progress.finish()
 
         self._merge_aggregates(results)
         if journal is not None:

@@ -19,10 +19,12 @@ from repro.figures.registry import (
     register_figure,
     render_figure,
 )
+from repro.figures.probes import register_probe_figures
 from repro.figures.universe import register_universe_figures
 
 register_paper_figures()
 register_universe_figures()
+register_probe_figures()
 
 from repro.figures.report import ReportSummary, render_report  # noqa: E402
 

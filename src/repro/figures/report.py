@@ -263,6 +263,68 @@ def _telemetry_section(store: BaseResultStore) -> List[str]:
     return parts
 
 
+def _probe_section(store: BaseResultStore) -> List[str]:
+    """The "Protocol health" section: one block per probe-bearing document.
+
+    Complements the probe *figures* (swarm-health timeline, startup
+    funnel) with the numbers behind them: the lifecycle stage/drop-reason
+    tallies, the run-level buffer-fill distribution and the funnel table.
+    Only ``--probes`` runs produce the data; plain ``--telemetry``
+    documents (probes disabled) render nothing here.
+    """
+    blocks: List[str] = []
+    for entry in store.entries(kind="telemetry"):
+        document = store.load_telemetry(entry.key)
+        if document is None:
+            continue
+        probes = document.get("probes")
+        if not isinstance(probes, dict) or not probes.get("enabled"):
+            continue
+        run = document.get("run", {})
+        label = ", ".join(
+            f"{key}={run[key]}" for key in sorted(run) if key != "kind"
+        ) or entry.key
+        blocks.append('<div class="figure-block">')
+        blocks.append(f"<h3>{html.escape(str(run.get('kind', 'run')))}: "
+                      f"{html.escape(label)}</h3>")
+        lifecycle = probes.get("lifecycle", {})
+        stages = lifecycle.get("stages", {})
+        if stages:
+            blocks.append("<h4>Segment lifecycle</h4>")
+            blocks.append(_html_table([
+                {"stage": name, "events": count}
+                for name, count in sorted(stages.items())
+            ]))
+        drops = lifecycle.get("drop_reasons", {})
+        if drops:
+            blocks.append(_html_table([
+                {"drop reason": name, "events": count}
+                for name, count in sorted(drops.items())
+            ]))
+        health = probes.get("health", {})
+        fill = health.get("buffer_fill", {})
+        if fill.get("count"):
+            blocks.append(
+                '<p class="meta">buffer fill over '
+                f'{int(health.get("periods", 0))} periods: '
+                f'mean {fill.get("mean", 0)}, p10 {fill.get("p10", 0)}, '
+                f'p50 {fill.get("p50", 0)}, p90 {fill.get("p90", 0)}</p>'
+            )
+        funnel = probes.get("funnel", {})
+        if funnel.get("rows"):
+            blocks.append("<h4>Startup funnel</h4>")
+            blocks.append(_html_table(funnel["rows"]))
+        if lifecycle.get("dropped"):
+            blocks.append(
+                f'<p class="meta">lifecycle buffer overflowed: '
+                f'{int(lifecycle["dropped"])} events dropped</p>'
+            )
+        blocks.append("</div>")
+    if not blocks:
+        return []
+    return ["<h2>Protocol health</h2>"] + blocks
+
+
 def _render_html(
     *,
     title: str,
@@ -330,6 +392,9 @@ def _render_html(
 
     # -- run telemetry ------------------------------------------------------ #
     parts.extend(_telemetry_section(store))
+
+    # -- protocol health (probe-bearing runs only) --------------------------- #
+    parts.extend(_probe_section(store))
 
     # -- skipped figures, with reasons -------------------------------------- #
     if skipped:

@@ -33,6 +33,17 @@ from repro.obs.export import (
     write_chrome_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.probes import (
+    DROP_REASONS,
+    FUNNEL_MILESTONES,
+    NULL_PROBES,
+    NullProbeSet,
+    ProbeSet,
+    SegmentLifecycleProbe,
+    STAGE_NAMES,
+    StartupFunnelProbe,
+    SwarmHealthProbe,
+)
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
     NullTelemetry,
@@ -58,12 +69,21 @@ def trace_span(name: str, *, tid: int = 0, **args):
 
 __all__ = [
     "Counter",
+    "DROP_REASONS",
+    "FUNNEL_MILESTONES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_PROBES",
     "NULL_TELEMETRY",
+    "NullProbeSet",
     "NullTelemetry",
+    "ProbeSet",
+    "STAGE_NAMES",
+    "SegmentLifecycleProbe",
     "Span",
+    "StartupFunnelProbe",
+    "SwarmHealthProbe",
     "Telemetry",
     "Tracer",
     "build_telemetry_document",

@@ -22,6 +22,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.obs.probes import NULL_PROBES
 from repro.obs.telemetry import NullTelemetry, Telemetry
 
 __all__ = [
@@ -70,6 +71,7 @@ def build_telemetry_document(
         "histograms": snapshot["histograms"],
         "spans": snapshot["spans"],
         "shards": shard_span_rows(telemetry),
+        "probes": getattr(telemetry, "probes", NULL_PROBES).snapshot(),
     }
     if telemetry.enabled:
         document["trace"] = {

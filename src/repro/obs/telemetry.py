@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.probes import NULL_PROBES, NullProbeSet, ProbeSet
 from repro.obs.trace import DEFAULT_MAX_EVENTS, NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -51,13 +52,23 @@ __all__ = [
 
 
 class Telemetry:
-    """A live metrics registry and tracer behind one facade."""
+    """A live metrics registry and tracer behind one facade.
+
+    ``probes=True`` additionally attaches a live
+    :class:`~repro.obs.probes.ProbeSet` (sim-time protocol probes);
+    otherwise :attr:`probes` is the shared no-op :data:`NULL_PROBES`, so
+    instrumented code can always reach ``get_telemetry().probes``.
+    """
 
     enabled = True
 
-    def __init__(self, *, max_trace_events: int = DEFAULT_MAX_EVENTS) -> None:
+    def __init__(self, *, max_trace_events: int = DEFAULT_MAX_EVENTS,
+                 probes: bool = False) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(max_events=max_trace_events)
+        self.probes: "ProbeSet | NullProbeSet" = (
+            ProbeSet() if probes else NULL_PROBES
+        )
 
     # -- metrics --------------------------------------------------------- #
     def counter(self, name: str) -> Counter:
@@ -93,6 +104,7 @@ class NullTelemetry:
     """The disabled handle: every method is a no-op, nothing is recorded."""
 
     enabled = False
+    probes = NULL_PROBES
 
     def counter(self, name: str):
         return NULL_COUNTER
@@ -129,7 +141,8 @@ def get_telemetry() -> "Telemetry | NullTelemetry":
     return _ACTIVE
 
 
-def enable_telemetry(*, max_trace_events: int = DEFAULT_MAX_EVENTS) -> Telemetry:
+def enable_telemetry(*, max_trace_events: int = DEFAULT_MAX_EVENTS,
+                     probes: bool = False) -> Telemetry:
     """Install (and return) a fresh active :class:`Telemetry`.
 
     Always starts from empty instruments: two runs in one process do not
@@ -137,7 +150,7 @@ def enable_telemetry(*, max_trace_events: int = DEFAULT_MAX_EVENTS) -> Telemetry
     both on purpose.
     """
     global _ACTIVE
-    _ACTIVE = Telemetry(max_trace_events=max_trace_events)
+    _ACTIVE = Telemetry(max_trace_events=max_trace_events, probes=probes)
     return _ACTIVE
 
 
@@ -151,7 +164,7 @@ def disable_telemetry() -> Optional[Telemetry]:
 
 @contextmanager
 def telemetry_session(
-    *, max_trace_events: int = DEFAULT_MAX_EVENTS
+    *, max_trace_events: int = DEFAULT_MAX_EVENTS, probes: bool = False
 ) -> Iterator[Telemetry]:
     """Enable telemetry for a ``with`` block, restoring the prior handle after.
 
@@ -161,10 +174,13 @@ def telemetry_session(
         with telemetry_session() as tel:
             session.run()
         write_chrome_trace(tel, "trace.json")
+
+    ``probes=True`` also records the sim-time protocol probes
+    (:mod:`repro.obs.probes`) -- read them back as ``tel.probes``.
     """
     global _ACTIVE
     previous = _ACTIVE
-    telemetry = Telemetry(max_trace_events=max_trace_events)
+    telemetry = Telemetry(max_trace_events=max_trace_events, probes=probes)
     _ACTIVE = telemetry
     try:
         yield telemetry

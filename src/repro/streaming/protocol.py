@@ -20,12 +20,14 @@ definition by default and can include request bits as a sensitivity check.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.core.base import Stream
 from repro.streaming.segment import DEFAULT_SEGMENT_BITS
 
 __all__ = [
     "SEGMENT_REQUEST_BITS",
+    "STAGE_WIRE_BITS",
     "BufferMapExchange",
     "SegmentRequestMessage",
     "SegmentDelivery",
@@ -33,6 +35,15 @@ __all__ = [
 
 #: Wire size of one segment request: a 20-bit segment id plus minimal framing.
 SEGMENT_REQUEST_BITS: int = 32
+
+#: Wire cost (bits) of the message behind each segment-lifecycle probe stage
+#: (:mod:`repro.obs.probes`): ``scheduled`` puts a request on the wire,
+#: ``delivered`` a segment payload; the other stages are peer-internal and
+#: cost nothing.  The ``repro probe`` timeline renders this column.
+STAGE_WIRE_BITS: Dict[str, int] = {
+    "scheduled": SEGMENT_REQUEST_BITS,
+    "delivered": DEFAULT_SEGMENT_BITS,
+}
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,18 @@ from repro.core.normal_switch import NormalSwitchAlgorithm
 from repro.metrics.collectors import MetricsCollector, SwitchMetrics
 from repro.metrics.overhead import OverheadAccountant
 from repro.net.fabric import NetworkFabric, build_fabric
+from repro.obs.probes import (
+    DROP_NET_LOSS,
+    DROP_NO_BUDGET,
+    DROP_SUPPLIER_GONE,
+    STAGE_ASSIGNED,
+    STAGE_DELIVERED,
+    STAGE_DROPPED,
+    STAGE_MISSED,
+    STAGE_PLAYED,
+    STAGE_REQUESTED,
+    STAGE_SCHEDULED,
+)
 from repro.obs.telemetry import get_telemetry
 from repro.net.library import get_topology, topology_names
 from repro.overlay.augment import augment_to_min_degree
@@ -676,6 +688,10 @@ class SwitchSession:
                 peer_class=self._peer_class.get(node_id, ""),
                 region=self.fabric.region_of(node_id),
             )
+        probes = get_telemetry().probes
+        if probes.enabled:
+            for node_id in self.peers:
+                probes.funnel.mark(self.label, node_id, "joined", 0.0)
 
     # ------------------------------------------------------------------ #
     # warm-up
@@ -772,8 +788,12 @@ class SwitchSession:
         with obs.span("period.decide", t=now, peers=len(order)):
             decisions = self._decide_phase(order, now)
 
+        probes = obs.probes
+        probing = probes.enabled
+        lifecycle = probes.lifecycle
+        period = self.rounds_run
         requests = failed = delayed = 0
-        deliveries: List[Tuple[PeerNode, int]] = []
+        deliveries: List[Tuple[PeerNode, int, int]] = []
         with obs.span("period.exchange", t=now):
             for node_id in order:
                 peer = self.peers[node_id]
@@ -784,10 +804,18 @@ class SwitchSession:
                     if supplier is None or not supplier.buffer.contains(request.seg_id):
                         peer.record_failed_request()
                         failed += 1
+                        if probing:
+                            lifecycle.append(now, period, node_id, request.seg_id,
+                                             STAGE_DROPPED, request.supplier_id,
+                                             DROP_SUPPLIER_GONE)
                         continue
                     if not self.ledger.consume(request.supplier_id):
                         peer.record_failed_request()
                         failed += 1
+                        if probing:
+                            lifecycle.append(now, period, node_id, request.seg_id,
+                                             STAGE_DROPPED, request.supplier_id,
+                                             DROP_NO_BUDGET)
                         continue
                     self.overhead.add_data(DEFAULT_SEGMENT_BITS)
                     delay = self.fabric.data_transfer(request.supplier_id, peer.node_id)
@@ -799,19 +827,71 @@ class SwitchSession:
                         # next period (drop + retry).
                         peer.record_failed_request()
                         failed += 1
+                        if probing:
+                            lifecycle.append(now, period, node_id, request.seg_id,
+                                             STAGE_DROPPED, request.supplier_id,
+                                             DROP_NET_LOSS)
                         continue
                     if delay <= 0.0:
-                        deliveries.append((peer, request.seg_id))
+                        deliveries.append((peer, request.seg_id, request.supplier_id))
                     else:
                         delayed += 1
-                        self._schedule_delivery(peer.node_id, request.seg_id, delay)
+                        self._schedule_delivery(
+                            peer.node_id, request.seg_id, delay,
+                            supplier_id=request.supplier_id,
+                        )
 
-            for peer, seg_id in deliveries:
+            for peer, seg_id, supplier_id in deliveries:
                 peer.apply_delivery(seg_id, now)
+                if probing:
+                    lifecycle.append(now, period, peer.node_id, seg_id,
+                                     STAGE_DELIVERED, supplier_id)
+                    if seg_id >= self.switch_plan.id_begin:
+                        probes.funnel.mark(self.label, peer.node_id,
+                                           "first_segment", now)
 
         with obs.span("period.flush", t=now):
             for node_id in order:
-                self.peers[node_id].advance_playback(now - cfg.tau, cfg.tau)
+                peer = self.peers[node_id]
+                if probing:
+                    pos_before = peer._current_playback_id()
+                    stalls_before = peer.total_stalls
+                peer.advance_playback(now - cfg.tau, cfg.tau)
+                if probing:
+                    pos_after = peer._current_playback_id()
+                    played = pos_after - pos_before
+                    if played > 0:
+                        lifecycle.append(now, period, node_id, pos_after,
+                                         STAGE_PLAYED, -1, float(played))
+                    missed = peer.total_stalls - stalls_before
+                    if missed > 0:
+                        lifecycle.append(now, period, node_id, pos_after,
+                                         STAGE_MISSED, -1, float(missed))
+
+            if probing:
+                funnel = probes.funnel
+                fills: List[int] = []
+                pending = 0
+                for node_id in order:
+                    peer = self.peers.get(node_id)
+                    if peer is None:
+                        continue
+                    fills.append(len(peer.buffer))
+                    pending += len(peer.wanted_old) + len(peer.wanted_new)
+                    if peer.discovered_switch_time is not None:
+                        funnel.mark(self.label, node_id, "first_map",
+                                    peer.discovered_switch_time)
+                    if peer.switch_complete_time is not None:
+                        funnel.mark(self.label, node_id, "playback",
+                                    peer.switch_complete_time)
+                probes.health.sample(
+                    now, self.label, fills,
+                    pending=pending,
+                    utilisation=self.ledger.utilisation(),
+                    requests=requests,
+                    failed=failed,
+                    delivered=len(deliveries),
+                )
 
             self.ledger.end_period()
             if obs.enabled:
@@ -838,16 +918,31 @@ class SwitchSession:
         method with an array-native equivalent.
         """
         decisions: Dict[int, ScheduleDecision] = {}
+        obs = get_telemetry()
+        lifecycle = obs.probes.lifecycle
+        probing = obs.probes.enabled
+        period = self.rounds_run
         for node_id in order:
             peer = self.peers[node_id]
             snapshots = self._pull_buffer_maps(peer)
-            decisions[node_id] = peer.decide(snapshots, now)
-        obs = get_telemetry()
+            decision = peer.decide(snapshots, now)
+            decisions[node_id] = decision
+            if probing:
+                for request in decision.requests:
+                    lifecycle.append(now, period, node_id, request.seg_id,
+                                     STAGE_REQUESTED)
+                    lifecycle.append(now, period, node_id, request.seg_id,
+                                     STAGE_ASSIGNED, request.supplier_id)
+                    lifecycle.append(now, period, node_id, request.seg_id,
+                                     STAGE_SCHEDULED, request.supplier_id,
+                                     request.expected_receive_time)
         if obs.enabled:
             obs.counter("engine.dispatch.scalar").add(len(order))
         return decisions
 
-    def _schedule_delivery(self, node_id: int, seg_id: int, delay: float) -> None:
+    def _schedule_delivery(
+        self, node_id: int, seg_id: int, delay: float, *, supplier_id: int = -1
+    ) -> None:
         """Deliver ``seg_id`` to ``node_id`` after the network delay.
 
         The receiving peer may have left through churn by the arrival time,
@@ -856,8 +951,16 @@ class SwitchSession:
 
         def deliver() -> None:
             peer = self.peers.get(node_id)
-            if peer is not None:
-                peer.apply_delivery(seg_id, self.engine.now)
+            if peer is None:
+                return
+            arrival = self.engine.now
+            peer.apply_delivery(seg_id, arrival)
+            probes = get_telemetry().probes
+            if probes.enabled:
+                probes.lifecycle.append(arrival, self.rounds_run, node_id, seg_id,
+                                        STAGE_DELIVERED, supplier_id, delay)
+                if seg_id >= self.switch_plan.id_begin:
+                    probes.funnel.mark(self.label, node_id, "first_segment", arrival)
 
         self.engine.schedule_in(delay, deliver, label="net-delivery")
 
@@ -1043,6 +1146,9 @@ class SwitchSession:
         peer.init_fresh_playback(position=position)
         peer.q0 = 0
         self.peers[node_id] = peer
+        probes = get_telemetry().probes
+        if probes.enabled:
+            probes.funnel.mark(self.label, node_id, "joined", now)
 
     def _neighbour_playback_position(self, node_id: int) -> int:
         positions: List[int] = []

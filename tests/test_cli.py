@@ -507,4 +507,120 @@ def test_bench_trend_renders_trajectory(tmp_path, capsys):
 
 def test_bench_trend_empty_directory(tmp_path, capsys):
     assert main(["bench", "trend", "--bench-dir", str(tmp_path)]) == 0
-    assert "no BENCH_*.json" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "need >= 2 timestamped BENCH_*.json summaries" in out
+    assert str(tmp_path) in out and "found 0" in out
+    assert "run_benchmarks.py" in out  # the fix-it hint
+
+
+def test_bench_trend_single_summary_needs_a_second(tmp_path, capsys):
+    (tmp_path / "BENCH_aaa.json").write_text(json.dumps({
+        "git_sha": "aaa", "created": "2026-01-01T00:00:00",
+        "benchmarks": [{"name": "bench_x.py::test_speed", "mean_s": 2.0}],
+    }), encoding="utf-8")
+    assert main(["bench", "trend", "--bench-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "need >= 2" in out and "found 1" in out
+
+
+# --------------------------------------------------------------------------- #
+# protocol probes: the `probe` command, `run --probes`, live progress
+# --------------------------------------------------------------------------- #
+def test_parser_knows_probe_and_progress_flags():
+    parser = build_parser()
+    args = parser.parse_args(["probe", "--n-nodes", "60", "--peer", "5",
+                              "--seg", "100", "--last", "10", "--json"])
+    assert args.command == "probe" and args.peer == 5 and args.seg == 100
+    assert args.last == 10 and args.json
+    args = parser.parse_args(["run", "--probes", "--results-dir", "/tmp/r"])
+    assert args.probes is True
+    args = parser.parse_args(["universe", "run", "lineup-mini", "--shards", "2",
+                              "--progress", "--results-dir", "/tmp/r"])
+    assert args.progress is True
+
+
+def test_probe_command_prints_lifecycle_funnel_and_health(capsys):
+    assert main(["probe", "--n-nodes", "36", "--seed", "2",
+                 "--max-time", "70"]) == 0
+    out = capsys.readouterr().out
+    assert "segment lifecycle:" in out
+    assert "requested" in out and "delivered" in out and "played" in out
+    assert "startup funnel:" in out and "playback_mean_s" in out
+    assert "swarm health" in out and "fill_p50" in out
+
+
+def test_probe_command_peer_timeline(capsys):
+    assert main(["probe", "--n-nodes", "36", "--seed", "2", "--max-time", "70",
+                 "--peer", "5", "--last", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "segment lifecycle of peer 5" in out
+    assert "(5 of" in out and "newest last" in out
+    assert "t_sim" in out and "supplier" in out and "wire_bits" in out
+    # a peer outside the overlay has no recorded events
+    assert main(["probe", "--n-nodes", "36", "--seed", "2", "--max-time", "70",
+                 "--peer", "999"]) == 0
+    assert "no lifecycle events recorded for peer 999" in capsys.readouterr().out
+
+
+def test_probe_command_json_snapshot(capsys):
+    assert main(["probe", "--n-nodes", "36", "--seed", "2", "--max-time", "70",
+                 "--peer", "5", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["enabled"] is True
+    assert payload["lifecycle"]["events"] > 0
+    assert payload["health"]["periods"] > 0
+    assert payload["funnel"]["peers"] == 34
+    assert payload["timeline"][0]["peer"] == 5
+
+
+def test_run_probes_flag_persists_the_probes_block(tmp_path, capsys):
+    from repro.experiments.store import ResultStore
+
+    store_dir = tmp_path / "results"
+    assert main(["run", "--n-nodes", "36", "--seed", "2", "--max-time", "70",
+                 "--probes", "--results-dir", str(store_dir), "--json"]) == 0
+    capsys.readouterr()
+    store = ResultStore(store_dir)
+    keys = [key for key in store.keys() if key.startswith("telemetry-")]
+    assert len(keys) == 1
+    probes = store.load_telemetry(keys[0])["probes"]
+    assert probes["enabled"] is True
+    assert probes["lifecycle"]["events"] > 0
+    assert probes["health"]["periods"] > 0
+
+
+def test_universe_run_progress_prints_live_status(tmp_path, capsys):
+    store_dir = tmp_path / "results"
+    assert main(["universe", "run", "lineup-mini", "--channels", "3",
+                 "--viewers", "30", "--seed", "4", "--repetitions", "1",
+                 "--shards", "2", "--workers", "2", "--progress",
+                 "--results-dir", str(store_dir), "--json"]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out)["simulated"] == 1
+    lines = [l for l in captured.err.splitlines() if l.startswith("[shards]")]
+    assert lines, "no progress lines on stderr"
+    assert lines[0].startswith("[shards] 0/2 done")
+    assert lines[-1].startswith("[shards] 2/2 done | all shards finished")
+
+
+def test_trace_overflow_warning_is_one_loud_line(capsys):
+    from repro.cli import _warn_trace_overflow
+
+    class _Tracer:
+        dropped = 5
+
+        def events(self):
+            return [{}] * 3
+
+    class _Telemetry:
+        tracer = _Tracer()
+
+    _warn_trace_overflow(_Telemetry())
+    err = capsys.readouterr().err
+    assert err.count("warning:") == 1
+    assert "5 events were dropped" in err
+    assert "max_trace_events" in err  # the fix-it hint
+    # silent when nothing was dropped
+    _Telemetry.tracer.dropped = 0
+    _warn_trace_overflow(_Telemetry())
+    assert capsys.readouterr().err == ""

@@ -8,6 +8,7 @@ store backends), streaming-sketch exactness against
 byte-identity re-simulating only unfinished shards.
 """
 
+import io
 import json
 import os
 
@@ -17,6 +18,7 @@ import pytest
 from repro.channels.runner import run_universe, universe_fingerprint
 from repro.channels.universe import UniverseSpec, run_universe_rep
 from repro.dist import (
+    ProgressReporter,
     Shard,
     ShardExecutionError,
     ShardJournal,
@@ -24,6 +26,7 @@ from repro.dist import (
     ShardUnit,
     WorkerPool,
 )
+from repro.dist.progress import format_eta
 from repro.experiments.store import STORE_BACKENDS, open_store
 
 #: The same deliberately tiny universe the channel tests use.
@@ -451,3 +454,150 @@ def test_exhausted_shard_failure_reaches_the_caller(tmp_path):
     with pytest.raises(ShardExecutionError) as excinfo:
         runner.run(TINY, seed=0, repetitions=1)
     assert "injected fault" in str(excinfo.value)
+
+
+# --------------------------------------------------------------------------- #
+# telemetry: shard spans cover the plan exactly once
+# --------------------------------------------------------------------------- #
+class TestShardSpanCoverage:
+    """A ``--shards N --telemetry`` run's document carries one
+    ``shard.execute`` span per planned shard -- no more, no less -- even
+    when a worker crash forces a retry (the crashed attempt never
+    completes a span; only the successful one does)."""
+
+    def test_spans_cover_every_planned_shard_exactly_once(self, tmp_path):
+        from repro.obs import build_telemetry_document, telemetry_session
+
+        store = open_store(tmp_path, backend="json")
+        with telemetry_session() as telemetry:
+            run_universe(
+                TINY, seed=0, repetitions=2, store=store, shards=2, workers=2
+            )
+        document = build_telemetry_document(telemetry, run={"kind": "universe"})
+        plan = ShardPlan.build(TINY, [0, 1], 2)
+        assert sorted(row["shard"] for row in document["shards"]) == \
+            list(range(plan.n_shards))
+
+    def test_spans_exactly_once_after_an_injected_worker_crash(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.channels.runner import UniverseRunner
+        from repro.obs import build_telemetry_document, telemetry_session
+
+        flags = tmp_path / "flags"
+        flags.mkdir()
+        monkeypatch.setenv("DIST_TEST_FLAGS", str(flags))
+        store = open_store(tmp_path / "store", backend="json")
+        runner = UniverseRunner(
+            workers=2, store=store, shards=2, max_retries=1,
+            fault_hook=_crash_once_hook,
+        )
+        with telemetry_session() as telemetry:
+            runner.run(TINY, seed=0, repetitions=2)
+        document = build_telemetry_document(telemetry, run={"kind": "universe"})
+        plan = ShardPlan.build(TINY, [0, 1], 2)
+        assert sorted(row["shard"] for row in document["shards"]) == \
+            list(range(plan.n_shards))
+        # ...and the retries really happened (one crash per shard).
+        counters = telemetry.registry.snapshot()["counters"]
+        assert counters["pool.shard_retry"] == plan.n_shards
+
+
+# --------------------------------------------------------------------------- #
+# live progress
+# --------------------------------------------------------------------------- #
+class _FakePool:
+    """Duck-typed stand-in: only ``worker_heartbeats`` is consulted."""
+
+    def __init__(self, beats):
+        self.beats = beats
+
+    def worker_heartbeats(self):
+        return dict(self.beats)
+
+
+class TestProgressReporter:
+    def test_lines_are_newline_terminated_and_counted(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval_s=0)
+        reporter.begin(total=3, replayed=1, pool=None)
+        reporter.shard_done(0)
+        reporter.shard_done(1)
+        reporter.finish()
+        lines = stream.getvalue().splitlines()
+        assert reporter.lines_emitted == 4 == len(lines)
+        assert stream.getvalue().endswith("\n")
+        assert lines[0] == "[shards] 1/3 done (1 replayed) | ETA --"
+        assert lines[-1] == "[shards] 3/3 done (1 replayed) | all shards finished"
+
+    def test_eta_tracks_the_observed_completion_rate(self):
+        fake = {"t": 0.0}
+        reporter = ProgressReporter(
+            stream=io.StringIO(), interval_s=0, clock=lambda: fake["t"]
+        )
+        reporter.begin(total=4, replayed=0, pool=None)
+        fake["t"] = 10.0
+        reporter.shard_done(0)
+        # one fresh shard in 10s => 3 remaining at ~10s each
+        assert "ETA ~30s" in reporter.status_line()
+
+    def test_worker_heartbeat_ages_and_display_cap(self):
+        beats = {i: (f"rep0/ch{i}", 90.0) for i in range(10)}
+        reporter = ProgressReporter(
+            stream=io.StringIO(), interval_s=0, wall_clock=lambda: 100.0
+        )
+        reporter.begin(total=1, replayed=0, pool=_FakePool(beats))
+        line = reporter.status_line()
+        assert "w0 rep0/ch0 (10.0s)" in line
+        assert "+2 more" in line  # 10 workers, at most 8 shown
+        assert "w8 " not in line
+
+    def test_throttle_suppresses_mid_interval_lines(self):
+        fake = {"t": 0.0}
+        reporter = ProgressReporter(
+            stream=io.StringIO(), interval_s=100.0, clock=lambda: fake["t"]
+        )
+        try:
+            reporter.begin(total=3, replayed=0, pool=None)
+            fake["t"] = 1.0
+            reporter.shard_done(0)  # inside the interval: no line
+            assert reporter.lines_emitted == 1
+            fake["t"] = 200.0
+            reporter.shard_done(1)  # interval elapsed: a line
+            assert reporter.lines_emitted == 2
+        finally:
+            reporter.finish()
+
+    def test_finish_is_idempotent(self):
+        reporter = ProgressReporter(stream=io.StringIO(), interval_s=0)
+        reporter.begin(total=1, replayed=0, pool=None)
+        reporter.shard_done(0)
+        reporter.finish()
+        emitted = reporter.lines_emitted
+        reporter.finish()
+        assert reporter.lines_emitted == emitted
+
+    def test_format_eta_ranges(self):
+        assert format_eta(42) == "~42s"
+        assert format_eta(190) == "~3m10s"
+        assert format_eta(2 * 3600 + 5 * 60) == "~2h05m"
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(interval_s=-1)
+
+    def test_sharded_run_reports_live_progress(self, tmp_path):
+        """End to end: a sharded universe run drives the reporter through
+        begin / per-shard / finish and the lines narrate the frontier."""
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream, interval_s=0)
+        store = open_store(tmp_path, backend="json")
+        run_universe(
+            TINY, seed=0, repetitions=1, workers=2, store=store,
+            shards=2, progress=reporter,
+        )
+        lines = stream.getvalue().splitlines()
+        assert reporter.lines_emitted == len(lines) == 4
+        assert lines[0].startswith("[shards] 0/2 done")
+        assert lines[1].startswith("[shards] 1/2 done")
+        assert lines[-1].startswith("[shards] 2/2 done | all shards finished")

@@ -41,12 +41,30 @@ def _fresh_cache():
     clear_sweep_cache()
 
 
+def _persist_probed_run(store):
+    """One probed scalar session, persisted as a telemetry document --
+    the data source of the probe-backed figures."""
+    from repro.experiments.config import make_session_config
+    from repro.experiments.runner import run_single
+    from repro.experiments.store import persist_telemetry_document
+    from repro.obs import telemetry_session
+
+    with telemetry_session(probes=True) as telemetry:
+        run_single(make_session_config(36, seed=0, max_time=60.0))
+    persist_telemetry_document(
+        store,
+        run={"kind": "run", "name": "probe-fixture", "seed": 0},
+        telemetry=telemetry,
+    )
+
+
 @pytest.fixture(scope="module")
 def warm_store(tmp_path_factory):
     """A store holding a serial universe run plus every simulation figure."""
     root = tmp_path_factory.mktemp("warm-store")
     store = ResultStore(root)
     run_universe(TINY_UNIVERSE, seed=0, repetitions=2, store=store)
+    _persist_probed_run(store)
     clear_sweep_cache()
     for name in figure_names():
         render_figure(name, store=store, **RENDER_KWARGS)
@@ -72,7 +90,9 @@ class TestRegistry:
         assert {"2", "5", "6", "7", "8", "9", "10", "11", "12"} <= ids
         kinds = {spec.kind for spec in FIGURES.values()}
         assert kinds == {"static", "track", "sweep", "universe"}
-        assert sum(1 for s in FIGURES.values() if s.kind == "universe") == 3
+        # Three sketch-backed universe figures plus two probe-backed ones.
+        assert sum(1 for s in FIGURES.values() if s.kind == "universe") == 5
+        assert {"probe-swarm-health", "probe-startup-funnel"} <= set(FIGURES)
 
     def test_get_figure_unknown_name_lists_known_ones(self):
         with pytest.raises(KeyError, match="fig7-switch-static"):
